@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and prints the
+corresponding row(s) in the paper's format, annotated with the published
+value for side-by-side comparison.  Absolute numbers (HP9000 seconds, SMV
+BDD node counts) are testbed-specific; the asserted properties are the
+*shapes*: which signals reach 100%, where the holes are, and that coverage
+estimation costs about as much as verification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, lines) -> None:
+    """Print a labelled result block (visible with `pytest -s`, and always
+    visible in the captured-output section on failure)."""
+    print()
+    print(f"== {title} ==")
+    for line in lines:
+        print(f"   {line}")
+
+
+@pytest.fixture
+def table_row():
+    """Format one Table 2 row: signal, #prop, %COV, verify cost, cover cost."""
+
+    def _row(signal, n_props, percent, verify_stats, cover_stats, paper):
+        return (
+            f"{signal:10s} #prop={n_props:<3d} cov={percent:6.2f}% "
+            f"(paper {paper}) verify[{verify_stats.format()}] "
+            f"coverage[{cover_stats.format()}]"
+        )
+
+    return _row

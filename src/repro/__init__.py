@@ -1,0 +1,43 @@
+"""repro — Coverage estimation for symbolic model checking.
+
+A from-scratch reproduction of Hoskote, Kam, Ho & Zhao, *"Coverage Estimation
+for Symbolic Model Checking"* (DAC 1999): a BDD engine, a symbolic CTL model
+checker, and the paper's state-based coverage metric for ACTL properties with
+respect to an observed signal, together with the paper's three evaluation
+circuits.
+
+Quickstart::
+
+    from repro import build_counter, counter_properties, CoverageEstimator
+
+    design = build_counter()
+    estimator = CoverageEstimator(design.fsm)
+    report = estimator.estimate(counter_properties(design), observed="count0")
+    print(report.summary())
+"""
+
+from ._version import __version__
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name):
+    """Lazily re-export the public API to keep import time low."""
+    if name.startswith("_"):
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    from importlib import import_module
+
+    api = import_module("repro._api")
+    try:
+        attr = getattr(api, name)
+    except AttributeError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    globals()[name] = attr
+    return attr
+
+
+def __dir__():
+    from importlib import import_module
+
+    api = import_module("repro._api")
+    return sorted(set(globals()) | set(api.__all__))

@@ -1,0 +1,108 @@
+"""Aggregated public API, lazily re-exported as the top-level ``repro``
+namespace (see ``repro/__init__.py``)."""
+
+from .bdd import BDDManager, Function, set_order, sift, swap_adjacent, to_dot
+from .circuits import (
+    DEFAULT_CAPACITY,
+    DEFAULT_DEPTH,
+    FIGURE1_FORMULA,
+    FIGURE2_FORMULA,
+    FIGURE3_FORMULA,
+    HOLD_CYCLES,
+    build_circular_queue,
+    build_counter,
+    build_pipeline,
+    build_priority_buffer,
+    circular_queue_empty_properties,
+    circular_queue_full_properties,
+    circular_queue_wrap_properties,
+    circular_queue_wrap_stall_property,
+    counter_partial_properties,
+    counter_properties,
+    figure1_graph,
+    figure2_graph,
+    figure3_graph,
+    pipeline_augmented_properties,
+    pipeline_output_properties,
+    pipeline_retention_properties,
+    priority_buffer_hi_properties,
+    priority_buffer_lo_augmented_properties,
+    priority_buffer_lo_hole_property,
+    priority_buffer_lo_properties,
+)
+from .coverage import (
+    CoverageEstimator,
+    CoverageReport,
+    PropertyCoverage,
+    depend,
+    firstreached,
+    format_uncovered_traces,
+    mutation_covered,
+    mutation_covered_raw,
+    trace_to_uncovered,
+    traverse,
+)
+from .ctl import (
+    CtlFormula,
+    ctl_to_str,
+    normalize_for_coverage,
+    observability_transform,
+    parse_ctl,
+)
+from .errors import (
+    BDDError,
+    CoverageError,
+    EvaluationError,
+    ModelError,
+    NotInSubsetError,
+    ParseError,
+    ReproError,
+    VerificationError,
+)
+from .expr import Expr, evaluate, expr_to_str, parse_expr
+from .fsm import FSM, CircuitBuilder, ExplicitGraph, ExplicitModel, enumerate_model
+from .mc import (
+    CheckResult,
+    ExplicitModelChecker,
+    ModelChecker,
+    WorkMeter,
+    WorkStats,
+    format_trace,
+    input_sequence,
+)
+
+__all__ = [
+    # bdd
+    "BDDManager", "Function", "to_dot", "sift", "set_order", "swap_adjacent",
+    # expr / ctl
+    "Expr", "parse_expr", "expr_to_str", "evaluate",
+    "CtlFormula", "parse_ctl", "ctl_to_str", "normalize_for_coverage",
+    "observability_transform",
+    # fsm
+    "FSM", "CircuitBuilder", "ExplicitGraph", "ExplicitModel",
+    "enumerate_model",
+    # mc
+    "ModelChecker", "CheckResult", "ExplicitModelChecker",
+    "WorkMeter", "WorkStats", "format_trace", "input_sequence",
+    # coverage
+    "CoverageEstimator", "CoverageReport", "PropertyCoverage",
+    "depend", "traverse", "firstreached",
+    "mutation_covered", "mutation_covered_raw",
+    "trace_to_uncovered", "format_uncovered_traces",
+    # circuits
+    "build_counter", "counter_properties", "counter_partial_properties",
+    "build_priority_buffer", "priority_buffer_hi_properties",
+    "priority_buffer_lo_properties", "priority_buffer_lo_hole_property",
+    "priority_buffer_lo_augmented_properties", "DEFAULT_CAPACITY",
+    "build_circular_queue", "circular_queue_wrap_properties",
+    "circular_queue_wrap_stall_property", "circular_queue_full_properties",
+    "circular_queue_empty_properties", "DEFAULT_DEPTH",
+    "build_pipeline", "pipeline_output_properties",
+    "pipeline_retention_properties", "pipeline_augmented_properties",
+    "HOLD_CYCLES",
+    "figure1_graph", "figure2_graph", "figure3_graph",
+    "FIGURE1_FORMULA", "FIGURE2_FORMULA", "FIGURE3_FORMULA",
+    # errors
+    "ReproError", "BDDError", "ParseError", "EvaluationError", "ModelError",
+    "NotInSubsetError", "VerificationError", "CoverageError",
+]

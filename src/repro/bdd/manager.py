@@ -1,0 +1,805 @@
+"""A self-contained reduced ordered binary decision diagram (ROBDD) engine.
+
+This module provides the symbolic substrate that the DAC'99 coverage paper
+gets from SMV's BDD package: hash-consed nodes, the ``ite`` operator with
+memoisation, specialised binary operators, existential/universal
+quantification, relational products (``and_exists``), functional composition,
+variable renaming, satisfying-assignment counting and enumeration.
+
+Nodes are integers indexing three parallel arrays (level, low, high); the two
+terminals are the reserved node ids ``0`` (FALSE) and ``1`` (TRUE).  Nodes
+store *levels* rather than variable ids so that variable reordering can swap
+adjacent levels in place without invalidating outstanding node references
+(see :mod:`repro.bdd.reorder`).
+
+The user-facing wrapper with operator overloading lives in
+:mod:`repro.bdd.function`; this module works on raw node ids and is the
+layer the FSM/model-checking code talks to for performance.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import BDDError
+
+#: Pseudo-level assigned to the two terminal nodes; orders after any variable.
+TERMINAL_LEVEL = 1 << 30
+
+#: Reserved node ids for the constant functions.
+FALSE = 0
+TRUE = 1
+
+# Tags used to keep the shared binary-op cache collision free.
+_OP_AND = 0
+_OP_OR = 1
+_OP_XOR = 2
+
+
+class BDDManager:
+    """Owner of a shared ROBDD node store and its operation caches.
+
+    All functions created through one manager may be freely combined; mixing
+    nodes from different managers is an error (checked by the high-level
+    :class:`~repro.bdd.function.Function` wrapper).
+
+    Parameters
+    ----------
+    var_names:
+        Optional initial variable names, declared in order (first name gets
+        the topmost level).
+    """
+
+    def __init__(self, var_names: Optional[Iterable[str]] = None):
+        # Parallel node arrays; slots 0/1 are the terminals.  The terminal
+        # low/high fields are never read but keep the arrays aligned.
+        self._level: List[int] = [TERMINAL_LEVEL, TERMINAL_LEVEL]
+        self._low: List[int] = [FALSE, TRUE]
+        self._high: List[int] = [FALSE, TRUE]
+        # Hash-consing table: (level, low, high) -> node id.
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        # Recycled node slots (filled by collect_garbage).
+        self._free: List[int] = []
+
+        # Variable bookkeeping.  A "variable" is a stable integer id; its
+        # position in the order is a "level".  Initially id == level.
+        self._var_names: List[str] = []
+        self._name_to_var: Dict[str, int] = {}
+        self._var2level: List[int] = []
+        self._level2var: List[int] = []
+
+        # Operation caches.
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._bin_cache: Dict[Tuple[int, int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._quant_cache: Dict[Tuple[int, int, int], int] = {}
+        self._relprod_cache: Dict[Tuple[int, int, int], int] = {}
+        self._compose_cache: Dict[Tuple[int, int], int] = {}
+        self._compose_token = 0
+        # Registered quantification profiles: canonical tuple of levels -> id.
+        self._quant_profiles: Dict[Tuple[int, ...], int] = {}
+        self._quant_profile_sets: List[frozenset] = []
+        self._quant_profile_max: List[int] = []
+
+        # Live external references (Function wrappers), for garbage marking.
+        self._external: "weakref.WeakSet" = weakref.WeakSet()
+
+        # Statistics.
+        self._created_nodes = 2
+        self._gc_runs = 0
+
+        if var_names is not None:
+            for name in var_names:
+                self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # Variable management
+    # ------------------------------------------------------------------
+
+    def add_var(self, name: str) -> int:
+        """Declare a new variable at the bottom of the order; return its id."""
+        if name in self._name_to_var:
+            raise BDDError(f"variable {name!r} already declared")
+        var = len(self._var_names)
+        self._var_names.append(name)
+        self._name_to_var[name] = var
+        self._var2level.append(len(self._level2var))
+        self._level2var.append(var)
+        return var
+
+    def var_id(self, name: str) -> int:
+        """Return the variable id for ``name`` (raises if undeclared)."""
+        try:
+            return self._name_to_var[name]
+        except KeyError:
+            raise BDDError(f"unknown variable {name!r}") from None
+
+    def var_name(self, var: int) -> str:
+        """Return the declared name of variable id ``var``."""
+        return self._var_names[var]
+
+    def var_level(self, var: int) -> int:
+        """Current level (order position) of variable id ``var``."""
+        return self._var2level[var]
+
+    def level_var(self, level: int) -> int:
+        """Variable id currently sitting at ``level``."""
+        return self._level2var[level]
+
+    @property
+    def num_vars(self) -> int:
+        """Number of declared variables."""
+        return len(self._var_names)
+
+    @property
+    def var_names(self) -> List[str]:
+        """Names of all declared variables in declaration order."""
+        return list(self._var_names)
+
+    def current_order(self) -> List[str]:
+        """Variable names from top level to bottom level."""
+        return [self._var_names[v] for v in self._level2var]
+
+    def var(self, name: str) -> int:
+        """Return the node for the positive literal of variable ``name``."""
+        var = self._name_to_var.get(name)
+        if var is None:
+            var = self.add_var(name)
+        return self._mk(self._var2level[var], FALSE, TRUE)
+
+    def nvar(self, name: str) -> int:
+        """Return the node for the negative literal of variable ``name``."""
+        var = self._name_to_var.get(name)
+        if var is None:
+            var = self.add_var(name)
+        return self._mk(self._var2level[var], TRUE, FALSE)
+
+    # ------------------------------------------------------------------
+    # Node primitives
+    # ------------------------------------------------------------------
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        """Find-or-create the node ``(level, low, high)`` (the reduce rule)."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        if self._free:
+            node = self._free.pop()
+            self._level[node] = level
+            self._low[node] = low
+            self._high[node] = high
+        else:
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+        self._unique[key] = node
+        self._created_nodes += 1
+        return node
+
+    def level_of(self, node: int) -> int:
+        """Level of ``node`` (``TERMINAL_LEVEL`` for constants)."""
+        return self._level[node]
+
+    def low_of(self, node: int) -> int:
+        """Low (else) child of ``node``."""
+        return self._low[node]
+
+    def high_of(self, node: int) -> int:
+        """High (then) child of ``node``."""
+        return self._high[node]
+
+    def node_count(self) -> int:
+        """Number of live (non-recycled) nodes including terminals."""
+        return len(self._level) - len(self._free)
+
+    @property
+    def created_nodes(self) -> int:
+        """Total number of nodes ever created (a work measure, akin to the
+        paper's "BDD nodes" column in Table 2)."""
+        return self._created_nodes
+
+    def size(self, node: int) -> int:
+        """Number of DAG nodes reachable from ``node`` (including terminals)."""
+        seen = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            if n > TRUE:
+                stack.append(self._low[n])
+                stack.append(self._high[n])
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # Core operators
+    # ------------------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f & g) | (~f & h)``, the universal connective."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g], self._level[h])
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        h0, h1 = self._cofactors(h, level)
+        result = self._mk(level, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        """Shannon cofactors of ``node`` with respect to ``level``."""
+        if self._level[node] == level:
+            return self._low[node], self._high[node]
+        return node, node
+
+    def apply_not(self, f: int) -> int:
+        """Negation (O(size) without complement edges, memoised)."""
+        if f == FALSE:
+            return TRUE
+        if f == TRUE:
+            return FALSE
+        cached = self._not_cache.get(f)
+        if cached is not None:
+            return cached
+        result = self._mk(
+            self._level[f], self.apply_not(self._low[f]), self.apply_not(self._high[f])
+        )
+        self._not_cache[f] = result
+        # Negation is an involution: seed the reverse direction too.
+        self._not_cache[result] = f
+        return result
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction with a commutativity-normalised cache."""
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        if g == TRUE:
+            return f
+        if f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (_OP_AND, f, g)
+        cached = self._bin_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g])
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        result = self._mk(level, self.apply_and(f0, g0), self.apply_and(f1, g1))
+        self._bin_cache[key] = result
+        return result
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction with a commutativity-normalised cache."""
+        if f == TRUE or g == TRUE:
+            return TRUE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (_OP_OR, f, g)
+        cached = self._bin_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g])
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        result = self._mk(level, self.apply_or(f0, g0), self.apply_or(f1, g1))
+        self._bin_cache[key] = result
+        return result
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        if f == g:
+            return FALSE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f == TRUE:
+            return self.apply_not(g)
+        if g == TRUE:
+            return self.apply_not(f)
+        if f > g:
+            f, g = g, f
+        key = (_OP_XOR, f, g)
+        cached = self._bin_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g])
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        result = self._mk(level, self.apply_xor(f0, g0), self.apply_xor(f1, g1))
+        self._bin_cache[key] = result
+        return result
+
+    def apply_iff(self, f: int, g: int) -> int:
+        """Equivalence ``f <-> g``."""
+        return self.apply_not(self.apply_xor(f, g))
+
+    def apply_implies(self, f: int, g: int) -> int:
+        """Implication ``f -> g``."""
+        return self.apply_or(self.apply_not(f), g)
+
+    def apply_diff(self, f: int, g: int) -> int:
+        """Set difference ``f & ~g`` (reads naturally on state sets)."""
+        return self.apply_and(f, self.apply_not(g))
+
+    # ------------------------------------------------------------------
+    # Quantification
+    # ------------------------------------------------------------------
+
+    def _quant_profile(self, variables: Iterable[int]) -> int:
+        """Intern a set of variables to quantify as a small profile id.
+
+        Image computations quantify the same variable sets over and over;
+        interning keeps the quantification cache keys small and hashable.
+        Profiles are expressed in *levels* and therefore invalidated (cleared)
+        by reordering.
+        """
+        levels = tuple(sorted(self._var2level[v] for v in variables))
+        profile = self._quant_profiles.get(levels)
+        if profile is None:
+            profile = len(self._quant_profile_sets)
+            self._quant_profiles[levels] = profile
+            self._quant_profile_sets.append(frozenset(levels))
+            self._quant_profile_max.append(max(levels) if levels else -1)
+        return profile
+
+    def exists(self, f: int, variables: Sequence[int]) -> int:
+        """Existential quantification of ``variables`` (ids) out of ``f``."""
+        if not variables:
+            return f
+        return self._exists_profile(f, self._quant_profile(variables))
+
+    def _exists_profile(self, f: int, profile: int) -> int:
+        if f <= TRUE:
+            return f
+        level = self._level[f]
+        if level > self._quant_profile_max[profile]:
+            return f
+        key = (0, f, profile)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        low = self._exists_profile(self._low[f], profile)
+        high = self._exists_profile(self._high[f], profile)
+        if level in self._quant_profile_sets[profile]:
+            result = self.apply_or(low, high)
+        else:
+            result = self._mk(level, low, high)
+        self._quant_cache[key] = result
+        return result
+
+    def forall(self, f: int, variables: Sequence[int]) -> int:
+        """Universal quantification of ``variables`` (ids) out of ``f``."""
+        if not variables:
+            return f
+        profile = self._quant_profile(variables)
+        return self._forall_profile(f, profile)
+
+    def _forall_profile(self, f: int, profile: int) -> int:
+        if f <= TRUE:
+            return f
+        level = self._level[f]
+        if level > self._quant_profile_max[profile]:
+            return f
+        key = (1, f, profile)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        low = self._forall_profile(self._low[f], profile)
+        high = self._forall_profile(self._high[f], profile)
+        if level in self._quant_profile_sets[profile]:
+            result = self.apply_and(low, high)
+        else:
+            result = self._mk(level, low, high)
+        self._quant_cache[key] = result
+        return result
+
+    def and_exists(self, f: int, g: int, variables: Sequence[int]) -> int:
+        """Relational product ``exists variables . (f & g)`` in one pass.
+
+        This is the workhorse of symbolic image computation; fusing the
+        conjunction with the quantification avoids building the (often huge)
+        intermediate ``f & g``.
+        """
+        if not variables:
+            return self.apply_and(f, g)
+        profile = self._quant_profile(variables)
+        return self._and_exists_profile(f, g, profile)
+
+    def _and_exists_profile(self, f: int, g: int, profile: int) -> int:
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE and g == TRUE:
+            return TRUE
+        if f == TRUE:
+            return self._exists_profile(g, profile)
+        if g == TRUE:
+            return self._exists_profile(f, profile)
+        if f == g:
+            return self._exists_profile(f, profile)
+        max_level = self._quant_profile_max[profile]
+        if self._level[f] > max_level and self._level[g] > max_level:
+            return self.apply_and(f, g)
+        if f > g:
+            f, g = g, f
+        key = (f, g, profile)
+        cached = self._relprod_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g])
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        if level in self._quant_profile_sets[profile]:
+            low = self._and_exists_profile(f0, g0, profile)
+            if low == TRUE:
+                result = TRUE
+            else:
+                result = self.apply_or(low, self._and_exists_profile(f1, g1, profile))
+        else:
+            result = self._mk(
+                level,
+                self._and_exists_profile(f0, g0, profile),
+                self._and_exists_profile(f1, g1, profile),
+            )
+        self._relprod_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Cofactor / composition / renaming
+    # ------------------------------------------------------------------
+
+    def restrict(self, f: int, var: int, value: bool) -> int:
+        """Cofactor of ``f`` with variable id ``var`` fixed to ``value``."""
+        level = self._var2level[var]
+        return self._restrict_level(f, level, value)
+
+    def _restrict_level(self, f: int, level: int, value: bool) -> int:
+        if f <= TRUE or self._level[f] > level:
+            return f
+        key = (2 if value else 3, f, level)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        if self._level[f] == level:
+            result = self._high[f] if value else self._low[f]
+        else:
+            result = self._mk(
+                self._level[f],
+                self._restrict_level(self._low[f], level, value),
+                self._restrict_level(self._high[f], level, value),
+            )
+        self._quant_cache[key] = result
+        return result
+
+    def compose(self, f: int, var: int, g: int) -> int:
+        """Substitute function ``g`` for variable id ``var`` inside ``f``."""
+        return self.compose_many(f, {var: g})
+
+    def compose_many(self, f: int, substitution: Dict[int, int]) -> int:
+        """Simultaneous substitution ``{var id -> replacement node}``.
+
+        Simultaneity matters: ``compose_many(f, {x: y, y: x})`` swaps the two
+        variables, which sequential composition would not.
+        """
+        if not substitution:
+            return f
+        by_level = {self._var2level[v]: g for v, g in substitution.items()}
+        # A fresh token keys this substitution in the (shared) compose cache.
+        self._compose_token += 1
+        self._compose_max_level = max(by_level)
+        return self._compose_rec(f, by_level)
+
+    def _compose_rec(self, f: int, by_level: Dict[int, int]) -> int:
+        if f <= TRUE or self._level[f] > self._compose_max_level:
+            return f
+        key = (self._compose_token, f)
+        cached = self._compose_cache.get(key)
+        if cached is not None:
+            return cached
+        level = self._level[f]
+        low = self._compose_rec(self._low[f], by_level)
+        high = self._compose_rec(self._high[f], by_level)
+        replacement = by_level.get(level)
+        if replacement is None:
+            replacement = self._mk(level, FALSE, TRUE)
+        result = self.ite(replacement, high, low)
+        self._compose_cache[key] = result
+        return result
+
+    def rename(self, f: int, mapping: Dict[int, int]) -> int:
+        """Rename variables of ``f`` according to ``{old var id -> new var id}``.
+
+        Only the *support* of ``f`` matters: when the level map restricted to
+        the support is strictly order-preserving (true for the interleaved
+        current<->next FSM encoding), a fast direct rebuild is used;
+        otherwise this falls back to simultaneous composition, which is
+        always correct.
+        """
+        if not mapping or f <= TRUE:
+            return f
+        level_map = {
+            self._var2level[old]: self._var2level[new]
+            for old, new in mapping.items()
+        }
+        support_levels = sorted(self._var2level[v] for v in self.support(f))
+        mapped = [level_map.get(level, level) for level in support_levels]
+        monotone = all(mapped[i] < mapped[i + 1] for i in range(len(mapped) - 1))
+        if monotone:
+            cache: Dict[int, int] = {}
+            return self._rename_rec(f, level_map, cache)
+        substitution = {
+            old: self._mk(self._var2level[new], FALSE, TRUE)
+            for old, new in mapping.items()
+        }
+        return self.compose_many(f, substitution)
+
+    def _rename_rec(self, f: int, level_map: Dict[int, int], cache: Dict[int, int]) -> int:
+        if f <= TRUE:
+            return f
+        cached = cache.get(f)
+        if cached is not None:
+            return cached
+        level = self._level[f]
+        result = self._mk(
+            level_map.get(level, level),
+            self._rename_rec(self._low[f], level_map, cache),
+            self._rename_rec(self._high[f], level_map, cache),
+        )
+        cache[f] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Satisfying assignments
+    # ------------------------------------------------------------------
+
+    def satcount(self, f: int, variables: Optional[Sequence[int]] = None) -> int:
+        """Number of satisfying assignments of ``f`` over ``variables``.
+
+        ``variables`` (variable ids) defaults to all declared variables and
+        must include the support of ``f``.  Variables skipped on a BDD path
+        contribute a factor of two each.  The variable set need not be a
+        contiguous block of levels — state variables interleaved with
+        next-state variables count correctly.
+        """
+        if variables is None:
+            variables = range(self.num_vars)
+        levels = sorted(self._var2level[v] for v in variables)
+        rank = {lvl: i for i, lvl in enumerate(levels)}
+        n = len(levels)
+        if f == FALSE:
+            return 0
+        if f == TRUE:
+            return 1 << n
+        for var in self.support(f):
+            if self._var2level[var] not in rank:
+                raise BDDError(
+                    f"satcount: function depends on {self._var_names[var]!r} "
+                    "which is outside the counting variables"
+                )
+        memo: Dict[int, int] = {}
+
+        def rec(node: int) -> int:
+            # Count over the counting-variables at ranks >= rank(level(node)).
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            r = rank[self._level[node]]
+            low, high = self._low[node], self._high[node]
+            low_rank = rank[self._level[low]] if low > TRUE else n
+            high_rank = rank[self._level[high]] if high > TRUE else n
+            count = (rec(low) << (low_rank - r - 1)) + (
+                rec(high) << (high_rank - r - 1)
+            )
+            memo[node] = count
+            return count
+
+        return rec(f) << rank[self._level[f]]
+
+    def support(self, f: int) -> List[int]:
+        """Variable ids (sorted by level) that ``f`` structurally depends on."""
+        seen = set()
+        levels = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= TRUE or node in seen:
+                continue
+            seen.add(node)
+            levels.add(self._level[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return [self._level2var[level] for level in sorted(levels)]
+
+    def iter_cubes(self, f: int) -> Iterator[Dict[int, bool]]:
+        """Yield the cubes (partial assignments ``{var id: bool}``) of ``f``.
+
+        Each cube corresponds to one path from the root to TRUE; variables
+        skipped on the path are omitted (don't-cares).
+        """
+        path: Dict[int, bool] = {}
+
+        def rec(node: int) -> Iterator[Dict[int, bool]]:
+            if node == FALSE:
+                return
+            if node == TRUE:
+                yield dict(path)
+                return
+            var = self._level2var[self._level[node]]
+            path[var] = False
+            yield from rec(self._low[node])
+            path[var] = True
+            yield from rec(self._high[node])
+            del path[var]
+
+        yield from rec(f)
+
+    def iter_sat(self, f: int, variables: Sequence[int]) -> Iterator[Dict[int, bool]]:
+        """Yield complete assignments over ``variables`` satisfying ``f``.
+
+        ``f`` must not depend on variables outside ``variables``.
+        """
+        var_set = set(variables)
+        for var in self.support(f):
+            if var not in var_set:
+                raise BDDError(
+                    f"function depends on {self._var_names[var]!r} which is "
+                    "not among the enumeration variables"
+                )
+        ordered = sorted(variables, key=lambda v: self._var2level[v])
+        for cube in self.iter_cubes(f):
+            free = [v for v in ordered if v not in cube]
+            for bits in range(1 << len(free)):
+                assignment = dict(cube)
+                for i, v in enumerate(free):
+                    assignment[v] = bool((bits >> i) & 1)
+                yield assignment
+
+    def pick_sat(self, f: int, variables: Sequence[int]) -> Optional[Dict[int, bool]]:
+        """Return one satisfying assignment over ``variables`` or ``None``."""
+        if f == FALSE:
+            return None
+        cube = next(self.iter_cubes(f))
+        assignment = {v: cube.get(v, False) for v in variables}
+        # Preserve cube values for any support variable outside `variables`.
+        for var, value in cube.items():
+            assignment[var] = value
+        return assignment
+
+    def eval_node(self, f: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate ``f`` under a complete assignment ``{var id: bool}``."""
+        node = f
+        while node > TRUE:
+            var = self._level2var[self._level[node]]
+            try:
+                value = assignment[var]
+            except KeyError:
+                raise BDDError(
+                    f"assignment missing variable {self._var_names[var]!r}"
+                ) from None
+            node = self._high[node] if value else self._low[node]
+        return node == TRUE
+
+    def cube(self, assignment: Dict[int, bool]) -> int:
+        """Build the conjunction-of-literals node for ``{var id: bool}``."""
+        result = TRUE
+        for var in sorted(assignment, key=lambda v: self._var2level[v], reverse=True):
+            level = self._var2level[var]
+            if assignment[var]:
+                result = self._mk(level, FALSE, result)
+            else:
+                result = self._mk(level, result, FALSE)
+        return result
+
+    # ------------------------------------------------------------------
+    # Cache & garbage management
+    # ------------------------------------------------------------------
+
+    def register_external(self, obj) -> None:
+        """Track a wrapper object whose ``node`` attribute must stay live."""
+        self._external.add(obj)
+
+    def clear_caches(self) -> None:
+        """Drop all operation caches (automatically done by GC/reorder)."""
+        self._ite_cache.clear()
+        self._bin_cache.clear()
+        self._not_cache.clear()
+        self._quant_cache.clear()
+        self._relprod_cache.clear()
+        self._compose_cache.clear()
+
+    def collect_garbage(self, extra_roots: Iterable[int] = ()) -> int:
+        """Mark-and-sweep: recycle nodes unreachable from live references.
+
+        Roots are the nodes of all live :class:`Function` wrappers, all
+        single-variable nodes, and ``extra_roots``.  Returns the number of
+        node slots freed.  All operation caches are invalidated.
+        """
+        roots = set(extra_roots)
+        for obj in self._external:
+            roots.add(obj.node)
+        for var in range(self.num_vars):
+            level = self._var2level[var]
+            node = self._unique.get((level, FALSE, TRUE))
+            if node is not None:
+                roots.add(node)
+        marked = {FALSE, TRUE}
+        stack = [r for r in roots if r > TRUE]
+        while stack:
+            node = stack.pop()
+            if node in marked:
+                continue
+            marked.add(node)
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        freed = 0
+        dead_keys = [
+            key for key, node in self._unique.items() if node not in marked
+        ]
+        for key in dead_keys:
+            node = self._unique.pop(key)
+            self._free.append(node)
+            freed += 1
+        self.clear_caches()
+        self._gc_runs += 1
+        return freed
+
+    # ------------------------------------------------------------------
+    # Debugging helpers
+    # ------------------------------------------------------------------
+
+    def to_expr_str(self, f: int, max_nodes: int = 64) -> str:
+        """Small human-readable rendering (sum of cubes), for debugging."""
+        if f == FALSE:
+            return "FALSE"
+        if f == TRUE:
+            return "TRUE"
+        terms = []
+        for i, cube in enumerate(self.iter_cubes(f)):
+            if i >= max_nodes:
+                terms.append("...")
+                break
+            literals = [
+                self._var_names[var] if value else f"!{self._var_names[var]}"
+                for var, value in sorted(
+                    cube.items(), key=lambda kv: self._var2level[kv[0]]
+                )
+            ]
+            terms.append(" & ".join(literals) if literals else "TRUE")
+        return " | ".join(terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<BDDManager vars={self.num_vars} nodes={self.node_count()} "
+            f"created={self._created_nodes}>"
+        )

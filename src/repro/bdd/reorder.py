@@ -1,0 +1,162 @@
+"""Dynamic variable reordering: adjacent-level swap and Rudell sifting.
+
+The coverage experiments in this repository use a fixed interleaved order
+(chosen by the FSM builder), but a credible BDD engine offers reordering, and
+the ordering ablation bench (`benchmarks/test_bench_ordering.py`) uses it to
+quantify how much the interleaved order matters.
+
+The implementation follows the classic unique-table formulation: swapping
+levels ``i`` and ``i+1`` rewrites the nodes at level ``i`` in place, so node
+ids (and therefore every outstanding :class:`~repro.bdd.function.Function`)
+remain valid across reordering.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .manager import BDDManager
+
+
+def swap_adjacent(manager: BDDManager, level: int) -> None:
+    """Swap the variables at ``level`` and ``level + 1`` in place.
+
+    All node ids keep denoting the same Boolean function.  Operation caches
+    and quantification profiles are invalidated.
+    """
+    m = manager
+    upper = level
+    lower = level + 1
+    if lower >= len(m._level2var):
+        raise IndexError(f"cannot swap level {level}: no level below it")
+
+    # Partition the two levels' nodes.  Everything is re-inserted below.
+    upper_nodes: List[int] = []
+    lower_nodes: List[int] = []
+    for (lvl, _low, _high), node in list(m._unique.items()):
+        if lvl == upper:
+            upper_nodes.append(node)
+            del m._unique[(lvl, _low, _high)]
+        elif lvl == lower:
+            lower_nodes.append(node)
+            del m._unique[(lvl, _low, _high)]
+
+    # Phase 1: old upper-level nodes that do NOT depend on the lower variable
+    # simply sink one level (same children, same function).
+    dependent: List[int] = []
+    for node in upper_nodes:
+        low, high = m._low[node], m._high[node]
+        if m._level[low] == lower or m._level[high] == lower:
+            dependent.append(node)
+        else:
+            m._level[node] = lower
+            m._unique[(lower, low, high)] = node
+
+    # Phase 2: old lower-level nodes float up (their children are strictly
+    # below both levels, so they are well-formed at the upper level).
+    for node in lower_nodes:
+        m._level[node] = upper
+        m._unique[(upper, m._low[node], m._high[node])] = node
+
+    # Phase 3: rewrite the dependent nodes.  With x the old upper variable
+    # and y the old lower one,  f = x?(y?f11:f10):(y?f01:f00)  becomes
+    # f = y?(x?f11:f01):(x?f10:f00)  where x now lives at the lower level.
+    # After phase 2, a child at level `upper` is necessarily an old
+    # lower-level node (original children of upper nodes were at levels
+    # >= lower, and only old lower nodes were floated up).
+    for node in dependent:
+        f0, f1 = m._low[node], m._high[node]
+        if m._level[f0] == upper:
+            f00, f01 = m._low[f0], m._high[f0]
+        else:
+            f00 = f01 = f0
+        if m._level[f1] == upper:
+            f10, f11 = m._low[f1], m._high[f1]
+        else:
+            f10 = f11 = f1
+        new_low = m._mk(lower, f00, f10)
+        new_high = m._mk(lower, f01, f11)
+        m._level[node] = upper
+        m._low[node] = new_low
+        m._high[node] = new_high
+        m._unique[(upper, new_low, new_high)] = node
+
+    # Swap the variable <-> level bookkeeping.
+    var_upper = m._level2var[upper]
+    var_lower = m._level2var[lower]
+    m._level2var[upper], m._level2var[lower] = var_lower, var_upper
+    m._var2level[var_upper] = lower
+    m._var2level[var_lower] = upper
+
+    # Levels changed meaning: every cache and level-keyed profile is stale.
+    m.clear_caches()
+    m._quant_profiles.clear()
+    m._quant_profile_sets.clear()
+    m._quant_profile_max.clear()
+
+
+def move_var_to_level(manager: BDDManager, var: int, target_level: int) -> None:
+    """Move variable id ``var`` to ``target_level`` via adjacent swaps."""
+    while manager.var_level(var) > target_level:
+        swap_adjacent(manager, manager.var_level(var) - 1)
+    while manager.var_level(var) < target_level:
+        swap_adjacent(manager, manager.var_level(var))
+
+
+def set_order(manager: BDDManager, names: List[str]) -> None:
+    """Reorder so that ``names`` run from the top level downwards.
+
+    ``names`` must be a permutation of all declared variable names.
+    """
+    declared = set(manager.var_names)
+    if set(names) != declared or len(names) != len(declared):
+        raise ValueError("set_order requires a permutation of all variables")
+    for target_level, name in enumerate(names):
+        move_var_to_level(manager, manager.var_id(name), target_level)
+
+
+def sift(manager: BDDManager, max_growth: float = 1.2) -> int:
+    """Rudell's sifting: greedily move each variable to its best level.
+
+    Variables are processed from the most populated level downwards.  Each
+    variable is swapped through every position; it settles where the unique
+    table is smallest.  ``max_growth`` aborts a directional sweep early when
+    the table exceeds ``max_growth`` times its size at the sweep start.
+
+    Returns the net change in unique-table size (negative is an improvement).
+    """
+    m = manager
+    start_size = len(m._unique)
+    nlevels = len(m._level2var)
+    # Order variables by how many nodes currently sit at their level.
+    occupancy = {lvl: 0 for lvl in range(nlevels)}
+    for (lvl, _l, _h) in m._unique:
+        occupancy[lvl] = occupancy.get(lvl, 0) + 1
+    todo = sorted(range(m.num_vars), key=lambda v: -occupancy.get(m.var_level(v), 0))
+
+    for var in todo:
+        best_size = len(m._unique)
+        sweep_limit = best_size * max_growth
+        original_level = m.var_level(var)
+        best_level = original_level
+
+        # Sweep down to the bottom.
+        while m.var_level(var) < nlevels - 1:
+            swap_adjacent(m, m.var_level(var))
+            size = len(m._unique)
+            if size < best_size:
+                best_size, best_level = size, m.var_level(var)
+            if size > sweep_limit:
+                break
+        # Sweep up to the top.
+        while m.var_level(var) > 0:
+            swap_adjacent(m, m.var_level(var) - 1)
+            size = len(m._unique)
+            if size < best_size:
+                best_size, best_level = size, m.var_level(var)
+            if size > sweep_limit:
+                break
+        # Settle at the best position seen.
+        move_var_to_level(m, var, best_level)
+
+    return len(m._unique) - start_size

@@ -1,0 +1,169 @@
+"""Command-line interface: run coverage estimation on the built-in circuits.
+
+Examples::
+
+    repro-coverage --list
+    repro-coverage queue-wrap --stage initial
+    repro-coverage buffer-lo --buggy --traces 2
+    repro-coverage pipeline --stage augmented
+    repro-coverage counter --stage partial
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .circuits import (
+    build_circular_queue,
+    build_counter,
+    build_pipeline,
+    build_priority_buffer,
+    circular_queue_empty_properties,
+    circular_queue_full_properties,
+    circular_queue_wrap_properties,
+    circular_queue_wrap_stall_property,
+    counter_partial_properties,
+    counter_properties,
+    pipeline_augmented_properties,
+    pipeline_output_properties,
+    priority_buffer_hi_properties,
+    priority_buffer_lo_augmented_properties,
+    priority_buffer_lo_properties,
+)
+from .coverage import CoverageEstimator, format_uncovered_traces
+from .errors import ReproError
+from .mc import ModelChecker
+
+__all__ = ["main", "TARGETS"]
+
+
+def _counter(args) -> Tuple:
+    fsm = build_counter()
+    if args.stage == "partial":
+        props = counter_partial_properties()
+    else:
+        props = counter_properties()
+    return fsm, props, "count", None
+
+
+def _buffer_hi(args) -> Tuple:
+    fsm = build_priority_buffer(buggy=args.buggy)
+    return fsm, priority_buffer_hi_properties(), "hi", None
+
+
+def _buffer_lo(args) -> Tuple:
+    fsm = build_priority_buffer(buggy=args.buggy)
+    if args.stage == "augmented":
+        props = priority_buffer_lo_augmented_properties()
+    else:
+        props = priority_buffer_lo_properties()
+    return fsm, props, "lo", None
+
+
+def _queue_wrap(args) -> Tuple:
+    fsm = build_circular_queue()
+    stage = args.stage or "initial"
+    if stage == "final":
+        props = circular_queue_wrap_properties(stage="extended")
+        props.append(circular_queue_wrap_stall_property())
+    else:
+        props = circular_queue_wrap_properties(stage=stage)
+    return fsm, props, "wrap", None
+
+
+def _queue_full(args) -> Tuple:
+    return build_circular_queue(), circular_queue_full_properties(), "full", None
+
+
+def _queue_empty(args) -> Tuple:
+    return build_circular_queue(), circular_queue_empty_properties(), "empty", None
+
+
+def _pipeline(args) -> Tuple:
+    fsm = build_pipeline()
+    if args.stage == "augmented":
+        props = pipeline_augmented_properties()
+    else:
+        props = pipeline_output_properties()
+    return fsm, props, "output", "!out_valid"
+
+
+#: target name -> (builder, valid stages, description)
+TARGETS: Dict[str, Tuple[Callable, List[str], str]] = {
+    "counter": (_counter, ["full", "partial"], "mod-5 counter (paper Section 1)"),
+    "buffer-hi": (_buffer_hi, [], "priority buffer, hi-pri count (Circuit 1)"),
+    "buffer-lo": (_buffer_lo, ["initial", "augmented"],
+                  "priority buffer, lo-pri count (Circuit 1)"),
+    "queue-wrap": (_queue_wrap, ["initial", "extended", "final"],
+                   "circular queue, wrap bit (Circuit 2)"),
+    "queue-full": (_queue_full, [], "circular queue, full signal (Circuit 2)"),
+    "queue-empty": (_queue_empty, [], "circular queue, empty signal (Circuit 2)"),
+    "pipeline": (_pipeline, ["initial", "augmented"],
+                 "decode pipeline, output (Circuit 3)"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-coverage",
+        description=(
+            "Coverage estimation for symbolic model checking "
+            "(DAC'99 reproduction)"
+        ),
+    )
+    parser.add_argument("target", nargs="?", help="circuit/signal to analyse")
+    parser.add_argument("--list", action="store_true", help="list targets")
+    parser.add_argument("--stage", help="property-suite stage (target-specific)")
+    parser.add_argument(
+        "--buggy", action="store_true",
+        help="use the buggy priority-buffer variant (Circuit 1 narrative)",
+    )
+    parser.add_argument(
+        "--traces", type=int, default=0, metavar="N",
+        help="print traces to up to N uncovered states",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.target:
+        print("available targets:")
+        for name, (_, stages, description) in TARGETS.items():
+            stage_note = f" (stages: {', '.join(stages)})" if stages else ""
+            print(f"  {name:12s} {description}{stage_note}")
+        return 0
+    entry = TARGETS.get(args.target)
+    if entry is None:
+        print(f"unknown target {args.target!r}; try --list", file=sys.stderr)
+        return 2
+    builder, _stages, _desc = entry
+    try:
+        fsm, props, observed, dont_care = builder(args)
+        checker = ModelChecker(fsm)
+        failing = [p for p in props if not checker.holds(p)]
+        if failing:
+            print(f"{len(failing)} propert(ies) FAIL on {fsm.name!r}:")
+            for prop in failing:
+                print(f"  {prop}")
+                result = checker.check(prop)
+                if result.counterexample:
+                    for k, state in enumerate(result.counterexample):
+                        print(f"    cycle {k}: {fsm.format_state(state)}")
+            print("coverage is only defined for verified properties; aborting.")
+            return 1
+        estimator = CoverageEstimator(fsm, checker=checker)
+        report = estimator.estimate(props, observed=observed, dont_care=dont_care)
+        print(report.summary())
+        if args.traces > 0:
+            print(format_uncovered_traces(report, count=args.traces))
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""The set-level functions of the paper's Table 1.
+
+Each function is a symbolic fixpoint over the FSM's transition relation:
+
+* ``depend(b)``   — start states whose satisfaction of the propositional
+  formula ``b`` hinges on the observed signal's value:
+  ``T(b) & !T(b[q -> !q])``.
+* ``forward(S0)`` — one-step image (lives on the FSM).
+* ``traverse(S0, f1, f2)`` — states on ``f1 & !f2`` prefixes of until-paths:
+  ``S'0 | traverse(forward(S'0), f1, f2)`` with
+  ``S'0 = S0 & T(f1) & !T(f2)``.
+* ``firstreached(S0, f2)`` — the first ``f2`` states met walking forward:
+  ``(S0 & T(f2)) | firstreached(forward(S0 & !T(f2)), f2)``.
+
+The recursions accumulate a visited set so cyclic graphs terminate; the
+computed sets equal the paper's recursive definitions (least fixpoints).
+
+``T(f1)``/``T(f2)`` arrive as already-computed satisfaction sets (the
+sub-formulas of an Until may themselves be temporal), so these functions are
+pure state-set manipulation.  An optional ``restrict`` set (fair states,
+paper Section 4.3) clips every forward step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..bdd import Function
+from ..expr.ast import Expr
+from ..fsm.fsm import FSM
+
+__all__ = ["depend", "traverse", "firstreached", "restricted_forward"]
+
+
+def depend(fsm: FSM, predicate: Expr, observed: str) -> Function:
+    """States where ``predicate`` is true but flipping ``observed`` falsifies it.
+
+    This is Table 1's ``depend(b) = T(b) & !T(b[q -> !q])``.  The flip
+    negates the observed signal's *labelling* wherever the formula mentions
+    it; other signals' definitions are untouched (Definition 2).
+    """
+    t_b = fsm.symbolize(predicate)
+    t_b_flipped = fsm.symbolize(predicate, flip=frozenset({observed}))
+    return t_b & ~t_b_flipped
+
+
+def restricted_forward(
+    fsm: FSM, states: Function, restrict: Optional[Function]
+) -> Function:
+    """One-step image, clipped to ``restrict`` when given (fair traversal)."""
+    image = fsm.image(states)
+    if restrict is not None:
+        image = image & restrict
+    return image
+
+
+def traverse(
+    fsm: FSM,
+    start: Function,
+    t_f1: Function,
+    t_f2: Function,
+    restrict: Optional[Function] = None,
+) -> Function:
+    """States on the ``f1``-prefix of until-paths out of ``start``.
+
+    All states satisfying ``f1 & !f2`` reachable from ``start`` along paths
+    that themselves stay within ``f1 & !f2`` — the start-state set for the
+    left arm of ``A[f1 U f2]`` coverage.
+    """
+    keep = t_f1 & ~t_f2
+    visited = start & keep
+    frontier = visited
+    while not frontier.is_false():
+        new = (restricted_forward(fsm, frontier, restrict) & keep).diff(visited)
+        visited = visited | new
+        frontier = new
+    return visited
+
+
+def firstreached(
+    fsm: FSM,
+    start: Function,
+    t_f2: Function,
+    restrict: Optional[Function] = None,
+) -> Function:
+    """The first ``f2`` states encountered walking forward from ``start``.
+
+    States satisfying ``f2`` reachable from ``start`` via a (possibly empty)
+    path of ``!f2`` states — the start-state set for the right arm of
+    ``A[f1 U f2]`` coverage.
+    """
+    result = start & t_f2
+    continuing = start.diff(t_f2)
+    visited = continuing
+    while not continuing.is_false():
+        step = restricted_forward(fsm, continuing, restrict)
+        result = result | (step & t_f2)
+        continuing = step.diff(t_f2).diff(visited)
+        visited = visited | continuing
+    return result

@@ -1,0 +1,55 @@
+"""Traces to uncovered states (paper Section 3, final paragraph).
+
+After inspecting the uncovered-state list, the paper's second methodology
+step is to "instruct the tool to generate traces to specific uncovered
+states ... via the shortest path and generating an input sequence
+corresponding to this path."  These helpers wrap the FSM's ring-based
+shortest-path search and the trace formatter for that workflow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..mc.witness import format_trace
+from .report import CoverageReport
+
+__all__ = ["trace_to_uncovered", "format_uncovered_traces"]
+
+
+def trace_to_uncovered(
+    report: CoverageReport, state: Optional[Dict[str, bool]] = None
+) -> Optional[List[Dict[str, bool]]]:
+    """Shortest trace from an initial state to an uncovered state.
+
+    ``state`` picks a specific hole (a full state assignment); by default
+    the nearest uncovered state is targeted.  Returns ``None`` when the
+    suite already has full coverage.
+    """
+    if report.is_fully_covered():
+        return None
+    target = report.uncovered
+    if state is not None:
+        target = target & report.fsm.state_cube(state)
+    return report.fsm.shortest_trace(target)
+
+
+def format_uncovered_traces(report: CoverageReport, count: int = 3) -> str:
+    """Render traces to up to ``count`` distinct uncovered states."""
+    if report.is_fully_covered():
+        return "full coverage: no uncovered states to trace"
+    fsm = report.fsm
+    remaining = report.uncovered
+    sections: List[str] = []
+    for k in range(count):
+        if remaining.is_false():
+            break
+        trace = fsm.shortest_trace(remaining)
+        if trace is None:
+            break
+        sections.append(
+            format_trace(fsm, trace, title=f"trace to uncovered state #{k + 1}")
+        )
+        # Exclude this hole and pick another for the next trace.
+        remaining = remaining.diff(fsm.state_cube(trace[-1]))
+    return "\n".join(sections)

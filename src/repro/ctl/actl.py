@@ -1,0 +1,117 @@
+"""The paper's acceptable ACTL subset (Section 2.1).
+
+The coverage algorithm is defined for::
+
+    f ::= b | b -> f | AX f | AG f | A[f U g] | f & g
+
+where ``b`` is propositional and ``AF f`` is accepted as sugar for
+``A[true U f]``.  The only ACTL construct excluded is disjunction of
+temporal formulas.
+
+:func:`normalize_for_coverage` is the single entry point used by the
+estimator and the mutation oracle: it collapses propositional subtrees,
+desugars ``AF``, and validates membership, raising
+:class:`~repro.errors.NotInSubsetError` with a helpful message otherwise.
+"""
+
+from __future__ import annotations
+
+from ..errors import NotInSubsetError
+from .ast import (
+    AF,
+    AG,
+    AU,
+    AX,
+    Atom,
+    CtlAnd,
+    CtlFormula,
+    CtlIff,
+    CtlImplies,
+    CtlNot,
+    CtlOr,
+    CtlXor,
+    EF,
+    EG,
+    EU,
+    EX,
+    TRUE_ATOM,
+    collapse,
+)
+
+__all__ = ["desugar_af", "validate_acceptable", "normalize_for_coverage"]
+
+
+def desugar_af(formula: CtlFormula) -> CtlFormula:
+    """Rewrite every ``AF f`` into ``A[true U f]`` (paper Section 2.1)."""
+    if isinstance(formula, Atom):
+        return formula
+    if isinstance(formula, AF):
+        return AU(TRUE_ATOM, desugar_af(formula.operand))
+    if isinstance(formula, CtlNot):
+        return CtlNot(desugar_af(formula.operand))
+    if isinstance(formula, (CtlAnd, CtlOr)):
+        return type(formula)(tuple(desugar_af(a) for a in formula.args))
+    if isinstance(formula, (CtlImplies, CtlIff, CtlXor)):
+        return type(formula)(desugar_af(formula.lhs), desugar_af(formula.rhs))
+    if isinstance(formula, (AX, AG, EX, EG, EF)):
+        return type(formula)(desugar_af(formula.operand))
+    if isinstance(formula, (AU, EU)):
+        return type(formula)(desugar_af(formula.lhs), desugar_af(formula.rhs))
+    raise TypeError(f"unknown CTL node {type(formula).__name__}")
+
+
+def validate_acceptable(formula: CtlFormula) -> None:
+    """Check membership in the acceptable subset (after collapse/desugar).
+
+    Raises :class:`NotInSubsetError` naming the offending subformula.
+    """
+    if isinstance(formula, Atom):
+        return
+    if isinstance(formula, CtlImplies):
+        if not isinstance(formula.lhs, Atom):
+            raise NotInSubsetError(
+                "the antecedent of '->' must be propositional in the "
+                f"acceptable ACTL subset; got: {formula.lhs}"
+            )
+        validate_acceptable(formula.rhs)
+        return
+    if isinstance(formula, (AX, AG)):
+        validate_acceptable(formula.operand)
+        return
+    if isinstance(formula, AU):
+        validate_acceptable(formula.lhs)
+        validate_acceptable(formula.rhs)
+        return
+    if isinstance(formula, CtlAnd):
+        for arg in formula.args:
+            validate_acceptable(arg)
+        return
+    if isinstance(formula, CtlOr):
+        raise NotInSubsetError(
+            "disjunction of temporal formulas is outside the acceptable "
+            f"ACTL subset (paper Section 2.1): {formula}"
+        )
+    if isinstance(formula, CtlNot):
+        raise NotInSubsetError(
+            f"negation of a temporal formula is not in ACTL: {formula}"
+        )
+    if isinstance(formula, (EX, EG, EF, EU)):
+        raise NotInSubsetError(
+            f"existential operators are not in ACTL: {formula}"
+        )
+    if isinstance(formula, (CtlIff, CtlXor)):
+        raise NotInSubsetError(
+            f"'<->'/'^' over temporal formulas is outside the subset: {formula}"
+        )
+    if isinstance(formula, AF):
+        raise NotInSubsetError(
+            "internal error: AF must be desugared before validation"
+        )  # pragma: no cover - normalize_for_coverage desugars first
+    raise TypeError(f"unknown CTL node {type(formula).__name__}")
+
+
+def normalize_for_coverage(formula: CtlFormula) -> CtlFormula:
+    """Collapse, desugar ``AF``, and validate the acceptable subset."""
+    normalized = desugar_af(collapse(formula))
+    validate_acceptable(normalized)
+    return normalized

@@ -1,0 +1,189 @@
+"""Parser for CTL formulas (shares the expression tokenizer).
+
+Grammar (lowest to highest precedence)::
+
+    ctl      := ctl_iff
+    ctl_iff  := ctl_impl ( '<->' ctl_impl )*
+    ctl_impl := ctl_or ( '->' ctl_impl )?          # right-associative
+    ctl_or   := ctl_xor ( ('|' | 'or') ctl_xor )*
+    ctl_xor  := ctl_and ( ('^' | 'xor') ctl_and )*
+    ctl_and  := unary ( ('&' | 'and') unary )*
+    unary    := ('!' | 'not') unary
+              | ('AX'|'AG'|'AF'|'EX'|'EG'|'EF') unary
+              | 'A' '[' ctl 'U' ctl ']'
+              | 'E' '[' ctl 'U' ctl ']'
+              | atom
+    atom     := 'true' | 'false' | '(' ctl ')' | name ( cmp rhs )?
+
+Temporal keywords are case-sensitive (uppercase), so signals named ``ax`` or
+``ag`` remain usable.  After parsing, maximal propositional subtrees are
+collapsed into single :class:`~repro.ctl.ast.Atom` leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..errors import ParseError
+from ..expr.ast import Const, Var, WordCmp
+from ..expr.parser import _CMP_TOKENS, _Cursor, _parse_number
+from .ast import (
+    AF,
+    AG,
+    AU,
+    AX,
+    Atom,
+    CtlAnd,
+    CtlFormula,
+    CtlIff,
+    CtlImplies,
+    CtlNot,
+    CtlOr,
+    CtlXor,
+    EF,
+    EG,
+    EU,
+    EX,
+    collapse,
+)
+
+__all__ = ["parse_ctl"]
+
+_UNARY_TEMPORAL = {
+    "AX": AX,
+    "AG": AG,
+    "AF": AF,
+    "EX": EX,
+    "EG": EG,
+    "EF": EF,
+}
+_CONSTS = {"true": True, "false": False}
+
+
+class _CtlParser:
+    def __init__(self, cursor: _Cursor):
+        self.cursor = cursor
+
+    def parse(self) -> CtlFormula:
+        formula = self.parse_iff()
+        token = self.cursor.peek()
+        if token.kind != "eof":
+            raise self.cursor.error("unexpected trailing input")
+        return collapse(formula)
+
+    def parse_iff(self) -> CtlFormula:
+        lhs = self.parse_implies()
+        while self.cursor.accept("<->"):
+            lhs = CtlIff(lhs, self.parse_implies())
+        return lhs
+
+    def parse_implies(self) -> CtlFormula:
+        lhs = self.parse_or()
+        if self.cursor.accept("->"):
+            return CtlImplies(lhs, self.parse_implies())
+        return lhs
+
+    def parse_or(self) -> CtlFormula:
+        lhs = self.parse_xor()
+        while self.cursor.accept("|") or self.cursor.accept_keyword("or"):
+            rhs = self.parse_xor()
+            lhs = (
+                CtlOr(lhs.args + (rhs,)) if isinstance(lhs, CtlOr) else CtlOr((lhs, rhs))
+            )
+        return lhs
+
+    def parse_xor(self) -> CtlFormula:
+        lhs = self.parse_and()
+        while self.cursor.accept("^") or self.cursor.accept_keyword("xor"):
+            lhs = CtlXor(lhs, self.parse_and())
+        return lhs
+
+    def parse_and(self) -> CtlFormula:
+        lhs = self.parse_unary()
+        while self.cursor.accept("&") or self.cursor.accept_keyword("and"):
+            rhs = self.parse_unary()
+            lhs = (
+                CtlAnd(lhs.args + (rhs,))
+                if isinstance(lhs, CtlAnd)
+                else CtlAnd((lhs, rhs))
+            )
+        return lhs
+
+    def parse_unary(self) -> CtlFormula:
+        if self.cursor.accept("!") or self.cursor.accept_keyword("not"):
+            return CtlNot(self.parse_unary())
+        token = self.cursor.peek()
+        if token.kind == "ident":
+            ctor = _UNARY_TEMPORAL.get(token.text)
+            if ctor is not None:
+                self.cursor.advance()
+                return ctor(self.parse_unary())
+            if token.text in ("A", "E"):
+                return self._parse_until(token.text)
+        return self.parse_atom()
+
+    def _parse_until(self, quantifier: str) -> CtlFormula:
+        # 'A' or 'E' must be followed by '[' to be an until; otherwise it is
+        # a plain signal named A/E.
+        next_token = self.cursor.tokens[self.cursor.index + 1]
+        if not (next_token.kind == "op" and next_token.text == "["):
+            return self.parse_atom()
+        self.cursor.advance()  # A / E
+        self.cursor.expect("[")
+        lhs = self.parse_iff()
+        until = self.cursor.peek()
+        if until.kind == "ident" and until.text == "U":
+            self.cursor.advance()
+        else:
+            raise ParseError(
+                f"expected 'U' in until operator at position {until.position}",
+                self.cursor.text,
+                until.position,
+            )
+        rhs = self.parse_iff()
+        self.cursor.expect("]")
+        return AU(lhs, rhs) if quantifier == "A" else EU(lhs, rhs)
+
+    def parse_atom(self) -> CtlFormula:
+        if self.cursor.accept("("):
+            inner = self.parse_iff()
+            self.cursor.expect(")")
+            return inner
+        token = self.cursor.peek()
+        if token.kind == "ident":
+            lowered = token.text.lower()
+            if lowered in _CONSTS:
+                self.cursor.advance()
+                return Atom(Const(_CONSTS[lowered]))
+            self.cursor.advance()
+            return Atom(self._maybe_comparison(token.text))
+        raise self.cursor.error("expected a formula")
+
+    def _maybe_comparison(self, name: str):
+        token = self.cursor.peek()
+        if token.kind == "op" and token.text in _CMP_TOKENS:
+            op = _CMP_TOKENS[token.text]
+            self.cursor.advance()
+            rhs_token = self.cursor.peek()
+            rhs: Union[int, str]
+            if rhs_token.kind == "number":
+                self.cursor.advance()
+                rhs = _parse_number(rhs_token.text)
+            elif rhs_token.kind == "ident":
+                self.cursor.advance()
+                rhs = rhs_token.text
+            else:
+                raise self.cursor.error(
+                    "expected a number or name on the right of a comparison"
+                )
+            return WordCmp(op, name, rhs)
+        return Var(name)
+
+
+def parse_ctl(text: str) -> CtlFormula:
+    """Parse ``text`` into a collapsed :class:`~repro.ctl.ast.CtlFormula`.
+
+    >>> str(parse_ctl("AG (!stall -> AX ready)"))
+    'AG (!stall -> AX ready)'
+    """
+    return _CtlParser(_Cursor(text)).parse()

@@ -1,0 +1,135 @@
+"""The observability transformation (paper Definition 5).
+
+Given an acceptable ACTL formula ``f`` and an observed signal ``q``, the
+transformation introduces a fresh signal ``q'`` defined by the same function
+as ``q`` and rewrites::
+
+    phi(b)          = b[q -> q']
+    phi(b -> f)     = b -> phi(f)          # the antecedent keeps q!
+    phi(AX f)       = AX phi(f)
+    phi(AG f)       = AG phi(f)
+    phi(A[f U g])   = A[phi(f) U g]  &  A[(f & !g) U phi(g)]
+    phi(f & g)      = phi(f) & phi(g)
+
+``q'`` becomes the observed signal of the transformed formula.  The
+transformed formula is semantically equivalent to the original (since
+``q' == q``), but its syntax pinpoints which occurrences of the observed
+signal carry the verification intent: coverage comes from the consequent of
+implications, and the two arms of an Until contribute independently.
+
+The symbolic estimator never materialises this transformation (the Table 1
+recursion computes the covered set of the transformed formula directly from
+the original syntax); it exists for:
+
+* the Definition-3 **mutation oracle** (:mod:`repro.coverage.mutation`),
+  which literally builds dual FSMs and model-checks ``phi(f)`` on them —
+  this is how the Correctness Theorem is validated empirically;
+* documentation/debugging (showing the user what is actually covered).
+
+Note the transformed formula leaves the ACTL subset (``f & !g`` negates a
+temporal formula when ``g`` is temporal); it is checked with the full-CTL
+checker.
+"""
+
+from __future__ import annotations
+
+from ..errors import NotInSubsetError
+from ..expr.ast import Expr, Var
+from .ast import (
+    AG,
+    AU,
+    AX,
+    Atom,
+    CtlAnd,
+    CtlFormula,
+    CtlImplies,
+    CtlNot,
+    collapse,
+)
+
+__all__ = ["observability_transform", "prime_name", "substitute_signal"]
+
+
+def prime_name(observed: str) -> str:
+    """Canonical name of the shadow signal ``q'`` for observed signal ``q``."""
+    return observed + "'"
+
+
+def substitute_signal(expr: Expr, observed: str, replacement: str) -> Expr:
+    """Replace every ``Var(observed)`` leaf by ``Var(replacement)``.
+
+    Word comparisons must have been lowered to bit level first; a comparison
+    still naming the observed signal would silently dodge the substitution,
+    so that case raises.
+    """
+    from ..expr.ast import WordCmp
+
+    def check_cmp(e: Expr) -> None:
+        if isinstance(e, WordCmp) and observed in (e.lhs, e.rhs):
+            raise NotInSubsetError(
+                f"word comparison {e} mentions observed signal {observed!r}; "
+                "lower words to bits before transforming"
+            )
+
+    for node in _walk(expr):
+        check_cmp(node)
+    return expr.substitute({observed: Var(replacement)})
+
+
+def _walk(expr: Expr):
+    from ..expr.ast import And, Iff, Implies, Not, Or, Xor
+
+    yield expr
+    if isinstance(expr, Not):
+        yield from _walk(expr.operand)
+    elif isinstance(expr, (And, Or)):
+        for a in expr.args:
+            yield from _walk(a)
+    elif isinstance(expr, (Xor, Iff, Implies)):
+        yield from _walk(expr.lhs)
+        yield from _walk(expr.rhs)
+
+
+def observability_transform(
+    formula: CtlFormula, observed: str, prime: str | None = None
+) -> CtlFormula:
+    """Apply Definition 5 to a normalized acceptable formula.
+
+    Parameters
+    ----------
+    formula:
+        Output of :func:`repro.ctl.actl.normalize_for_coverage` whose atoms
+        have already been lowered to bit level.
+    observed:
+        The observed signal ``q``.
+    prime:
+        Name for ``q'``; defaults to ``observed + "'"``.
+    """
+    if prime is None:
+        prime = prime_name(observed)
+
+    def phi(f: CtlFormula) -> CtlFormula:
+        if isinstance(f, Atom):
+            return Atom(substitute_signal(f.expr, observed, prime))
+        if isinstance(f, CtlImplies):
+            # Antecedent is propositional (validated) and keeps the original q.
+            return CtlImplies(f.lhs, phi(f.rhs))
+        if isinstance(f, AX):
+            return AX(phi(f.operand))
+        if isinstance(f, AG):
+            return AG(phi(f.operand))
+        if isinstance(f, AU):
+            left = AU(phi(f.lhs), f.rhs)
+            # Collapse (f & !g) into a single atom when both are
+            # propositional, keeping the transformed formula in the same
+            # collapsed normal form as its input.
+            right = AU(collapse(CtlAnd((f.lhs, CtlNot(f.rhs)))), phi(f.rhs))
+            return CtlAnd((left, right))
+        if isinstance(f, CtlAnd):
+            return CtlAnd(tuple(phi(a) for a in f.args))
+        raise NotInSubsetError(
+            f"observability transform is defined on the acceptable subset "
+            f"only; offending node: {f}"
+        )
+
+    return phi(formula)

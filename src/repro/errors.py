@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class BDDError(ReproError):
+    """Raised for invalid BDD operations (unknown variables, mixed managers)."""
+
+
+class ParseError(ReproError):
+    """Raised when an expression or CTL formula fails to parse.
+
+    Attributes
+    ----------
+    text:
+        The full input text being parsed.
+    position:
+        Character offset at which the error was detected.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = 0):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class EvaluationError(ReproError):
+    """Raised when an expression cannot be evaluated under an assignment."""
+
+
+class ModelError(ReproError):
+    """Raised for ill-formed FSM definitions (duplicate names, bad widths)."""
+
+
+class NotInSubsetError(ReproError):
+    """Raised when a CTL formula falls outside the paper's acceptable ACTL subset.
+
+    The DAC'99 coverage algorithm is defined only for the grammar
+
+        f ::= b | b -> f | AX f | AG f | A[f U g] | f & g
+
+    (with ``AF f`` accepted as sugar for ``A[true U f]``).  Formulas outside
+    this subset can still be *model checked* but not covered.
+    """
+
+
+class VerificationError(ReproError):
+    """Raised when coverage is requested for a property the model violates.
+
+    Definition 3 of the paper only defines covered sets for properties that
+    the FSM satisfies; estimating coverage of a failing property is a user
+    error, not a degenerate answer.
+    """
+
+
+class CoverageError(ReproError):
+    """Raised for invalid coverage requests (unknown observed signal, etc.)."""

@@ -1,0 +1,62 @@
+"""Propositional expressions over circuit signals.
+
+Public surface: the AST node classes, :func:`parse_expr`,
+:func:`expr_to_str`, :func:`evaluate`, and the bit-vector lowering helpers.
+"""
+
+from .ast import (
+    And,
+    CMP_OPS,
+    Const,
+    Expr,
+    FALSE_EXPR,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE_EXPR,
+    Var,
+    WordCmp,
+    Xor,
+)
+from .bitvector import (
+    WordTable,
+    int_to_bits,
+    resolve_words,
+    word_equals_const,
+    word_equals_word,
+    word_less_than_const,
+    word_less_than_word,
+    word_value,
+)
+from .evaluator import evaluate
+from .parser import parse_expr, tokenize
+from .printer import expr_to_str
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "Iff",
+    "Implies",
+    "WordCmp",
+    "TRUE_EXPR",
+    "FALSE_EXPR",
+    "CMP_OPS",
+    "parse_expr",
+    "tokenize",
+    "expr_to_str",
+    "evaluate",
+    "WordTable",
+    "resolve_words",
+    "int_to_bits",
+    "word_value",
+    "word_equals_const",
+    "word_less_than_const",
+    "word_equals_word",
+    "word_less_than_word",
+]

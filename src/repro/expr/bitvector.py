@@ -1,0 +1,207 @@
+"""Bit-vector lowering: word comparisons to pure bit-level Boolean structure.
+
+Circuits declare *words* — named, LSB-first lists of Boolean signals (e.g.
+``count = [count0, count1, count2]``).  Properties may compare words against
+constants or other words (``count < 5``, ``rd_ptr == wr_ptr``); this module
+expands those :class:`~repro.expr.ast.WordCmp` leaves into plain AND/OR/NOT
+structure over the bit signals, which is what the FSM symbolises.
+
+All comparisons are unsigned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import EvaluationError
+from .ast import (
+    And,
+    Const,
+    Expr,
+    FALSE_EXPR,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE_EXPR,
+    Var,
+    WordCmp,
+    Xor,
+)
+
+__all__ = [
+    "WordTable",
+    "resolve_words",
+    "word_equals_const",
+    "word_less_than_const",
+    "word_equals_word",
+    "word_less_than_word",
+    "word_value",
+    "int_to_bits",
+]
+
+#: Mapping from word name to its LSB-first list of bit signal names.
+WordTable = Dict[str, List[str]]
+
+
+def int_to_bits(value: int, width: int) -> List[bool]:
+    """LSB-first bit decomposition of ``value`` (must fit in ``width``)."""
+    if value < 0:
+        raise EvaluationError(f"bit-vectors are unsigned; got {value}")
+    if value >= (1 << width):
+        raise EvaluationError(f"{value} does not fit in {width} bits")
+    return [bool((value >> i) & 1) for i in range(width)]
+
+
+def word_value(bits: Sequence[str], assignment: Dict[str, bool]) -> int:
+    """Recompose the integer value of a word under a signal assignment."""
+    value = 0
+    for i, name in enumerate(bits):
+        if assignment[name]:
+            value |= 1 << i
+    return value
+
+
+def _bit(name: str, value: bool) -> Expr:
+    return Var(name) if value else Not(Var(name))
+
+
+def word_equals_const(bits: Sequence[str], value: int) -> Expr:
+    """``word == value`` as a conjunction of literals."""
+    if value >= (1 << len(bits)) or value < 0:
+        return FALSE_EXPR
+    const_bits = int_to_bits(value, len(bits))
+    return And(tuple(_bit(name, b) for name, b in zip(bits, const_bits)))
+
+
+def word_less_than_const(bits: Sequence[str], value: int) -> Expr:
+    """``word < value`` (unsigned) as AND/OR structure over the bits.
+
+    Standard magnitude comparison: the word is smaller iff at some bit
+    position where the constant has a 1 the word has a 0, and all more
+    significant bits agree.
+    """
+    if value <= 0:
+        return FALSE_EXPR
+    if value > (1 << len(bits)):
+        return TRUE_EXPR
+    if value == (1 << len(bits)):
+        return TRUE_EXPR
+    const_bits = int_to_bits(value, len(bits))
+    terms: List[Expr] = []
+    for i in range(len(bits) - 1, -1, -1):  # MSB downwards
+        if const_bits[i]:
+            higher = [
+                _bit(bits[j], const_bits[j]) for j in range(i + 1, len(bits))
+            ]
+            terms.append(And(tuple(higher + [Not(Var(bits[i]))])))
+    if not terms:
+        return FALSE_EXPR
+    return Or(tuple(terms))
+
+
+def word_equals_word(lhs: Sequence[str], rhs: Sequence[str]) -> Expr:
+    """``lhs == rhs`` bit-wise (shorter word zero-extended)."""
+    width = max(len(lhs), len(rhs))
+    clauses: List[Expr] = []
+    for i in range(width):
+        left = Var(lhs[i]) if i < len(lhs) else FALSE_EXPR
+        right = Var(rhs[i]) if i < len(rhs) else FALSE_EXPR
+        clauses.append(Iff(left, right))
+    return And(tuple(clauses))
+
+
+def word_less_than_word(lhs: Sequence[str], rhs: Sequence[str]) -> Expr:
+    """``lhs < rhs`` unsigned (shorter word zero-extended)."""
+    width = max(len(lhs), len(rhs))
+
+    def bit(word: Sequence[str], i: int) -> Expr:
+        return Var(word[i]) if i < len(word) else FALSE_EXPR
+
+    terms: List[Expr] = []
+    for i in range(width - 1, -1, -1):
+        higher_equal = [Iff(bit(lhs, j), bit(rhs, j)) for j in range(i + 1, width)]
+        terms.append(
+            And(tuple(higher_equal + [Not(bit(lhs, i)), bit(rhs, i)]))
+        )
+    return Or(tuple(terms))
+
+
+def _lower_cmp(cmp: WordCmp, words: WordTable, known_bools: frozenset) -> Expr:
+    """Lower one comparison leaf given the word table."""
+    lhs_bits = _bits_for(cmp.lhs, words, known_bools)
+    if isinstance(cmp.rhs, int):
+        if cmp.op == "==":
+            return word_equals_const(lhs_bits, cmp.rhs)
+        if cmp.op == "!=":
+            return Not(word_equals_const(lhs_bits, cmp.rhs))
+        if cmp.op == "<":
+            return word_less_than_const(lhs_bits, cmp.rhs)
+        if cmp.op == "<=":
+            return word_less_than_const(lhs_bits, cmp.rhs + 1)
+        if cmp.op == ">":
+            return Not(word_less_than_const(lhs_bits, cmp.rhs + 1))
+        if cmp.op == ">=":
+            return Not(word_less_than_const(lhs_bits, cmp.rhs))
+    else:
+        rhs_bits = _bits_for(cmp.rhs, words, known_bools)
+        if cmp.op == "==":
+            return word_equals_word(lhs_bits, rhs_bits)
+        if cmp.op == "!=":
+            return Not(word_equals_word(lhs_bits, rhs_bits))
+        if cmp.op == "<":
+            return word_less_than_word(lhs_bits, rhs_bits)
+        if cmp.op == "<=":
+            return Not(word_less_than_word(rhs_bits, lhs_bits))
+        if cmp.op == ">":
+            return word_less_than_word(rhs_bits, lhs_bits)
+        if cmp.op == ">=":
+            return Not(word_less_than_word(lhs_bits, rhs_bits))
+    raise EvaluationError(f"unhandled comparison {cmp}")  # pragma: no cover
+
+
+def _bits_for(name: str, words: WordTable, known_bools: frozenset) -> List[str]:
+    if name in words:
+        return list(words[name])
+    if name in known_bools or not known_bools:
+        # A single-bit signal used in a comparison is a width-1 word.
+        return [name]
+    raise EvaluationError(f"unknown word or signal {name!r} in comparison")
+
+
+def resolve_words(
+    expr: Expr, words: WordTable, known_bools: frozenset = frozenset()
+) -> Expr:
+    """Rewrite every :class:`WordCmp` leaf into bit-level structure.
+
+    ``known_bools`` (optional) is the set of declared single-bit signal
+    names; when provided, comparisons against undeclared names raise
+    :class:`~repro.errors.EvaluationError` instead of silently treating the
+    name as a 1-bit word.
+    """
+    if isinstance(expr, WordCmp):
+        return _lower_cmp(expr, words, known_bools)
+    if isinstance(expr, (Const, Var)):
+        return expr
+    if isinstance(expr, Not):
+        return Not(resolve_words(expr.operand, words, known_bools))
+    if isinstance(expr, And):
+        return And(tuple(resolve_words(a, words, known_bools) for a in expr.args))
+    if isinstance(expr, Or):
+        return Or(tuple(resolve_words(a, words, known_bools) for a in expr.args))
+    if isinstance(expr, Xor):
+        return Xor(
+            resolve_words(expr.lhs, words, known_bools),
+            resolve_words(expr.rhs, words, known_bools),
+        )
+    if isinstance(expr, Iff):
+        return Iff(
+            resolve_words(expr.lhs, words, known_bools),
+            resolve_words(expr.rhs, words, known_bools),
+        )
+    if isinstance(expr, Implies):
+        return Implies(
+            resolve_words(expr.lhs, words, known_bools),
+            resolve_words(expr.rhs, words, known_bools),
+        )
+    raise TypeError(f"unknown expression node {type(expr).__name__}")

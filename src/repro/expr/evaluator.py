@@ -1,0 +1,103 @@
+"""Concrete evaluation of expressions under signal assignments.
+
+Used by the explicit-state engine (ground-truth model checking and the
+Definition-3 mutation oracle) and by tests as an independent semantics to
+cross-check the symbolic path.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from ..errors import EvaluationError
+from .ast import (
+    And,
+    Const,
+    Expr,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    WordCmp,
+    Xor,
+)
+from .bitvector import WordTable, word_value
+
+__all__ = ["evaluate"]
+
+
+def evaluate(
+    expr: Expr,
+    assignment: Mapping[str, bool],
+    words: Union[WordTable, None] = None,
+) -> bool:
+    """Evaluate ``expr`` under a total Boolean ``assignment``.
+
+    ``words`` supplies bit lists for :class:`WordCmp` leaves; single-bit
+    signals may be compared without being declared as words.
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        try:
+            return bool(assignment[expr.name])
+        except KeyError:
+            raise EvaluationError(f"no value for signal {expr.name!r}") from None
+    if isinstance(expr, Not):
+        return not evaluate(expr.operand, assignment, words)
+    if isinstance(expr, And):
+        return all(evaluate(a, assignment, words) for a in expr.args)
+    if isinstance(expr, Or):
+        return any(evaluate(a, assignment, words) for a in expr.args)
+    if isinstance(expr, Xor):
+        return evaluate(expr.lhs, assignment, words) != evaluate(
+            expr.rhs, assignment, words
+        )
+    if isinstance(expr, Iff):
+        return evaluate(expr.lhs, assignment, words) == evaluate(
+            expr.rhs, assignment, words
+        )
+    if isinstance(expr, Implies):
+        return (not evaluate(expr.lhs, assignment, words)) or evaluate(
+            expr.rhs, assignment, words
+        )
+    if isinstance(expr, WordCmp):
+        return _evaluate_cmp(expr, assignment, words or {})
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _evaluate_cmp(
+    cmp: WordCmp, assignment: Mapping[str, bool], words: WordTable
+) -> bool:
+    lhs = _value_of(cmp.lhs, assignment, words)
+    if isinstance(cmp.rhs, int):
+        rhs = cmp.rhs
+    else:
+        rhs = _value_of(cmp.rhs, assignment, words)
+    if cmp.op == "==":
+        return lhs == rhs
+    if cmp.op == "!=":
+        return lhs != rhs
+    if cmp.op == "<":
+        return lhs < rhs
+    if cmp.op == "<=":
+        return lhs <= rhs
+    if cmp.op == ">":
+        return lhs > rhs
+    if cmp.op == ">=":
+        return lhs >= rhs
+    raise EvaluationError(f"unknown comparison {cmp.op!r}")  # pragma: no cover
+
+
+def _value_of(
+    name: str, assignment: Mapping[str, bool], words: WordTable
+) -> int:
+    if name in words:
+        missing = [bit for bit in words[name] if bit not in assignment]
+        if missing:
+            raise EvaluationError(f"no value for word bits {missing!r}")
+        return word_value(words[name], dict(assignment))
+    if name in assignment:
+        return int(bool(assignment[name]))
+    raise EvaluationError(f"no value for word or signal {name!r}")

@@ -1,0 +1,14 @@
+"""FSM substrate: circuit builder, symbolic Kripke structure, explicit models."""
+
+from .builder import CircuitBuilder
+from .explicit import ExplicitGraph, ExplicitModel, enumerate_model
+from .fsm import FSM, NEXT_SUFFIX
+
+__all__ = [
+    "FSM",
+    "NEXT_SUFFIX",
+    "CircuitBuilder",
+    "ExplicitGraph",
+    "ExplicitModel",
+    "enumerate_model",
+]

@@ -1,0 +1,353 @@
+"""The symbolic Kripke structure — Definition 1 of the paper.
+
+An :class:`FSM` is the 4-tuple ``<S, TM, P, SI>``:
+
+* ``S`` — the state space: all valuations of the *state variables*.  As in
+  SMV, free circuit inputs are folded into the state (each input becomes a
+  state variable with an unconstrained next value), so the paper's formulas
+  over inputs like ``stall``/``reset`` are plain state predicates.
+* ``TM`` — the transition relation, a BDD over current and next variables.
+* ``P`` — the signals: named atomic propositions, each a BDD over the
+  current variables (latches/inputs name themselves; ``define``d outputs
+  are arbitrary functions).
+* ``SI`` — the initial state set.
+
+Current and next copies of each variable are interleaved in the BDD order
+(``v0, v0#next, v1, v1#next, ...``), the standard choice that keeps
+transition relations small and makes current<->next renaming a fast
+monotone rebuild.
+
+Construction goes through :class:`~repro.fsm.builder.CircuitBuilder` (for
+circuits) or :func:`~repro.fsm.explicit.ExplicitGraph.to_fsm` (for explicit
+state graphs); this class only assumes a relation, not functional
+next-state logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..bdd import BDDManager, Function
+from ..errors import ModelError
+from ..expr.ast import And as EAnd
+from ..expr.ast import Const, Expr, Iff as EIff, Implies as EImplies
+from ..expr.ast import Not as ENot, Or as EOr, Var, WordCmp, Xor as EXor
+from ..expr.bitvector import WordTable, resolve_words
+
+__all__ = ["FSM", "NEXT_SUFFIX"]
+
+#: Suffix appended to a state variable name to name its next-state copy.
+NEXT_SUFFIX = "#next"
+
+
+class FSM:
+    """A finite state machine in symbolic (BDD) representation.
+
+    Parameters
+    ----------
+    manager:
+        The BDD manager holding every function of this machine.
+    name:
+        Human-readable machine name (used in reports).
+    state_vars:
+        Names of the state variables in declaration order.  For each name
+        ``v`` the manager must have variables ``v`` and ``v#next``.
+    inputs:
+        The subset of ``state_vars`` that are free inputs (unconstrained
+        next value).  Informational — the transition relation already
+        encodes this.
+    transition:
+        The transition relation over current and next variables.
+    init:
+        The initial state set over current variables.
+    signals:
+        Atomic propositions: name -> BDD over current variables.  Must
+        include every state variable under its own name.
+    signal_exprs:
+        Optional expression-level definitions of the signals (needed for
+        explicit-state enumeration of functional circuits).
+    words:
+        Bit-vector table: word name -> LSB-first bit signal names.
+    fairness:
+        Fairness constraints as state sets; a fair path satisfies each one
+        infinitely often (paper Section 4.3).
+    latch_next_exprs:
+        Optional next-state expression for every non-input state variable
+        (enables explicit enumeration; relation-built FSMs leave it None).
+    """
+
+    def __init__(
+        self,
+        manager: BDDManager,
+        name: str,
+        state_vars: Sequence[str],
+        inputs: Sequence[str],
+        transition: Function,
+        init: Function,
+        signals: Dict[str, Function],
+        signal_exprs: Optional[Dict[str, Expr]] = None,
+        words: Optional[WordTable] = None,
+        fairness: Optional[List[Function]] = None,
+        latch_next_exprs: Optional[Dict[str, Expr]] = None,
+    ):
+        self.manager = manager
+        self.name = name
+        self.state_vars = list(state_vars)
+        self.inputs = list(inputs)
+        self.latches = [v for v in self.state_vars if v not in set(inputs)]
+        self.transition = transition
+        self.init = init
+        self.signals = dict(signals)
+        self.signal_exprs = dict(signal_exprs) if signal_exprs else None
+        self.words: WordTable = dict(words) if words else {}
+        self.fairness = list(fairness) if fairness else []
+        self.latch_next_exprs = (
+            dict(latch_next_exprs) if latch_next_exprs else None
+        )
+
+        self.current_ids: Dict[str, int] = {
+            v: manager.var_id(v) for v in self.state_vars
+        }
+        self.next_ids: Dict[str, int] = {
+            v: manager.var_id(v + NEXT_SUFFIX) for v in self.state_vars
+        }
+        self._cur_list = [self.current_ids[v] for v in self.state_vars]
+        self._next_list = [self.next_ids[v] for v in self.state_vars]
+        self._cur_to_next = {
+            self.current_ids[v]: self.next_ids[v] for v in self.state_vars
+        }
+        self._next_to_cur = {
+            self.next_ids[v]: self.current_ids[v] for v in self.state_vars
+        }
+        self._reachable: Optional[Function] = None
+        self._rings: Optional[List[Function]] = None
+
+        missing = [v for v in self.state_vars if v not in self.signals]
+        if missing:
+            raise ModelError(f"state variables missing from signals: {missing}")
+
+    # ------------------------------------------------------------------
+    # Constructors for common shapes
+    # ------------------------------------------------------------------
+
+    @property
+    def current_var_ids(self) -> List[int]:
+        """Variable ids of the current-state variables (declaration order)."""
+        return list(self._cur_list)
+
+    @property
+    def next_var_ids(self) -> List[int]:
+        """Variable ids of the next-state variables (declaration order)."""
+        return list(self._next_list)
+
+    def true_set(self) -> Function:
+        """The full state space as a set."""
+        return Function.true(self.manager)
+
+    def empty_set(self) -> Function:
+        """The empty state set."""
+        return Function.false(self.manager)
+
+    # ------------------------------------------------------------------
+    # Signal / expression symbolisation
+    # ------------------------------------------------------------------
+
+    def signal(self, name: str) -> Function:
+        """The atomic proposition ``name`` as a state set."""
+        try:
+            return self.signals[name]
+        except KeyError:
+            raise ModelError(
+                f"unknown signal {name!r} in FSM {self.name!r}; "
+                f"known: {sorted(self.signals)[:12]}..."
+            ) from None
+
+    def symbolize(self, expr: Expr, flip: frozenset = frozenset()) -> Function:
+        """Translate an expression over signals into a state-set BDD.
+
+        ``flip`` is a set of signal names whose *labelling* is negated — the
+        heart of ``depend(b)`` (Table 1): ``T(b[q -> !q])`` is
+        ``symbolize(b, flip={q})``.  Flipping applies to occurrences of the
+        signal in the expression, not inside other signals' definitions
+        (Definition 2 changes exactly one labelling function).
+        """
+        lowered = resolve_words(expr, self.words, frozenset(self.signals))
+        return self._symbolize_rec(lowered, flip)
+
+    def _symbolize_rec(self, expr: Expr, flip: frozenset) -> Function:
+        if isinstance(expr, Const):
+            return Function.true(self.manager) if expr.value else Function.false(self.manager)
+        if isinstance(expr, Var):
+            base = self.signal(expr.name)
+            return ~base if expr.name in flip else base
+        if isinstance(expr, ENot):
+            return ~self._symbolize_rec(expr.operand, flip)
+        if isinstance(expr, EAnd):
+            out = Function.true(self.manager)
+            for arg in expr.args:
+                out = out & self._symbolize_rec(arg, flip)
+            return out
+        if isinstance(expr, EOr):
+            out = Function.false(self.manager)
+            for arg in expr.args:
+                out = out | self._symbolize_rec(arg, flip)
+            return out
+        if isinstance(expr, EXor):
+            return self._symbolize_rec(expr.lhs, flip) ^ self._symbolize_rec(
+                expr.rhs, flip
+            )
+        if isinstance(expr, EIff):
+            return self._symbolize_rec(expr.lhs, flip).iff(
+                self._symbolize_rec(expr.rhs, flip)
+            )
+        if isinstance(expr, EImplies):
+            return self._symbolize_rec(expr.lhs, flip).implies(
+                self._symbolize_rec(expr.rhs, flip)
+            )
+        if isinstance(expr, WordCmp):  # pragma: no cover - lowered above
+            raise ModelError(f"unresolved word comparison {expr}")
+        raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+    # ------------------------------------------------------------------
+    # Image operators (paper: forward / reachable)
+    # ------------------------------------------------------------------
+
+    def image(self, states: Function) -> Function:
+        """One-step forward image — the paper's ``forward(S0)``."""
+        over_next = self.transition.and_exists(states, self._cur_list)
+        return over_next.rename(self._next_to_cur)
+
+    forward = image
+
+    def preimage(self, states: Function) -> Function:
+        """One-step backward image (states with some successor in ``states``)."""
+        over_next = states.rename(self._cur_to_next)
+        return self.transition.and_exists(over_next, self._next_list)
+
+    def reachable_from(self, start: Function) -> Function:
+        """The paper's ``reachable(S0)``: all states reachable from ``start``
+        in zero or more steps (includes ``start``)."""
+        reached = start
+        frontier = start
+        while not frontier.is_false():
+            new = self.image(frontier).diff(reached)
+            reached = reached | new
+            frontier = new
+        return reached
+
+    def reachable(self) -> Function:
+        """All states reachable from the initial set (cached)."""
+        if self._reachable is None:
+            self._compute_rings()
+        return self._reachable
+
+    def rings(self) -> List[Function]:
+        """Breadth-first onion rings from the initial states (cached).
+
+        ``rings()[k]`` is the set of states first reached in exactly ``k``
+        steps; used for shortest-path trace generation (paper Section 3).
+        """
+        if self._rings is None:
+            self._compute_rings()
+        return list(self._rings)
+
+    def _compute_rings(self) -> None:
+        rings = [self.init]
+        reached = self.init
+        frontier = self.init
+        while not frontier.is_false():
+            new = self.image(frontier).diff(reached)
+            if new.is_false():
+                break
+            rings.append(new)
+            reached = reached | new
+            frontier = new
+        self._reachable = reached
+        self._rings = rings
+
+    # ------------------------------------------------------------------
+    # Counting / enumeration
+    # ------------------------------------------------------------------
+
+    def count_states(self, states: Function) -> int:
+        """Number of states in the set (over the state variables)."""
+        return states.satcount(self._cur_list)
+
+    def iter_states(self, states: Function) -> Iterator[Dict[str, bool]]:
+        """Iterate the states of a set as ``{state var name: value}`` dicts."""
+        id_to_name = {self.current_ids[v]: v for v in self.state_vars}
+        for assignment in states.iter_sat(self._cur_list):
+            yield {id_to_name[i]: val for i, val in assignment.items()}
+
+    def state_cube(self, assignment: Dict[str, bool]) -> Function:
+        """The singleton state set for a complete state assignment."""
+        missing = [v for v in self.state_vars if v not in assignment]
+        if missing:
+            raise ModelError(f"state assignment missing variables: {missing}")
+        raw = {self.current_ids[v]: bool(assignment[v]) for v in self.state_vars}
+        return Function(self.manager, self.manager.cube(raw))
+
+    def format_state(self, state: Dict[str, bool]) -> str:
+        """Human-readable one-line rendering of a (possibly partial) state.
+
+        Word bits are recomposed into integers; variables absent from the
+        assignment are omitted rather than defaulted.
+        """
+        parts: List[str] = []
+        shown = set()
+        for word, bits in sorted(self.words.items()):
+            if all(b in state for b in bits):
+                value = sum((1 << i) for i, b in enumerate(bits) if state[b])
+                parts.append(f"{word}={value}")
+                shown.update(bits)
+        for var in self.state_vars:
+            if var not in shown and var in state:
+                parts.append(f"{var}={int(bool(state[var]))}")
+        return " ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Trace generation (paper Section 3, last paragraph)
+    # ------------------------------------------------------------------
+
+    def shortest_trace(self, target: Function) -> Optional[List[Dict[str, bool]]]:
+        """Shortest path (as full state assignments) from an initial state to
+        ``target``, via breadth-first rings and backward images.
+
+        Returns ``None`` when the target is unreachable.  The input portion
+        of each state is the stimulus that drives the circuit along the
+        trace (the "input sequence" the paper prints for uncovered states).
+        """
+        rings = self.rings()
+        hit_index = None
+        for k, ring in enumerate(rings):
+            if ring.intersects(target):
+                hit_index = k
+                break
+        if hit_index is None:
+            return None
+        # Pick a state in the intersection, then walk backwards ring by ring.
+        current = self._pick(rings[hit_index] & target)
+        path = [current]
+        for k in range(hit_index - 1, -1, -1):
+            pred = self.preimage(self.state_cube(current)) & rings[k]
+            current = self._pick(pred)
+            path.append(current)
+        path.reverse()
+        return path
+
+    def _pick(self, states: Function) -> Dict[str, bool]:
+        assignment = states.pick_sat(self._cur_list)
+        if assignment is None:  # pragma: no cover - callers guarantee non-empty
+            raise ModelError("internal error: picking from an empty state set")
+        id_to_name = {self.current_ids[v]: v for v in self.state_vars}
+        return {
+            id_to_name[i]: val
+            for i, val in assignment.items()
+            if i in id_to_name
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<FSM {self.name!r} vars={len(self.state_vars)} "
+            f"inputs={len(self.inputs)} signals={len(self.signals)}>"
+        )

@@ -1,0 +1,207 @@
+"""Explicit-state CTL model checking (the validation oracle).
+
+Implements the same logic as :class:`~repro.mc.checker.ModelChecker` but
+over an :class:`~repro.fsm.explicit.ExplicitModel` with Python sets — an
+independent code path used to validate the symbolic engine and to drive the
+Definition-3 mutation oracle (which needs per-state label flips, passed in
+as ``overrides``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..ctl.ast import (
+    AF,
+    AG,
+    AU,
+    AX,
+    Atom,
+    CtlAnd,
+    CtlFormula,
+    CtlIff,
+    CtlImplies,
+    CtlNot,
+    CtlOr,
+    CtlXor,
+    EF,
+    EG,
+    EU,
+    EX,
+)
+from ..expr.ast import Expr
+from ..fsm.explicit import ExplicitModel
+
+__all__ = ["ExplicitModelChecker"]
+
+
+class ExplicitModelChecker:
+    """CTL checker over explicit adjacency lists.
+
+    Parameters
+    ----------
+    model:
+        The explicit Kripke structure.
+    fairness:
+        Fairness constraints as propositional expressions over the model's
+        signals.
+    overrides:
+        Optional ``{signal name: per-state bool vector}`` shadow labelling;
+        atoms see these values in place of (or in addition to) the model's
+        own labels.  The mutation oracle injects the flipped ``q'`` here.
+    """
+
+    def __init__(
+        self,
+        model: ExplicitModel,
+        fairness: Iterable[Expr] = (),
+        overrides: Optional[Dict[str, List[bool]]] = None,
+    ):
+        self.model = model
+        self.overrides = overrides
+        self.all_states = frozenset(range(model.n))
+        self.fair_sets = [
+            frozenset(model.states_satisfying(expr, overrides))
+            for expr in fairness
+        ]
+        self._fair_states: Optional[Set[int]] = None
+
+    # ------------------------------------------------------------------
+    # Plain path quantifiers
+    # ------------------------------------------------------------------
+
+    def _ex_plain(self, states: Set[int]) -> Set[int]:
+        return {
+            i
+            for i in range(self.model.n)
+            if any(j in states for j in self.model.successors[i])
+        }
+
+    def _eu_plain(self, constraint: Set[int], target: Set[int]) -> Set[int]:
+        reached = set(target)
+        frontier = list(target)
+        while frontier:
+            node = frontier.pop()
+            for pred in self.model.predecessors[node]:
+                if pred in constraint and pred not in reached:
+                    reached.add(pred)
+                    frontier.append(pred)
+        return reached
+
+    def _eg_plain(self, states: Set[int]) -> Set[int]:
+        current = set(states)
+        changed = True
+        while changed:
+            changed = False
+            keep = {
+                i
+                for i in current
+                if any(j in current for j in self.model.successors[i])
+            }
+            if keep != current:
+                current = keep
+                changed = True
+        return current
+
+    def _eg_fair(self, states: Set[int]) -> Set[int]:
+        current = set(states)
+        while True:
+            new = set(states)
+            for fair in self.fair_sets:
+                target = current & states & fair
+                new &= self._ex_plain(self._eu_plain(states, target))
+            if new == current:
+                return current
+            current = new
+
+    # ------------------------------------------------------------------
+    # Fair quantifiers
+    # ------------------------------------------------------------------
+
+    def fair_states(self) -> Set[int]:
+        """States with at least one fair path (all states if unconstrained)."""
+        if self._fair_states is None:
+            if not self.fair_sets:
+                self._fair_states = set(self.all_states)
+            else:
+                self._fair_states = self._eg_fair(set(self.all_states))
+        return self._fair_states
+
+    def _ex(self, states: Set[int]) -> Set[int]:
+        if not self.fair_sets:
+            return self._ex_plain(states)
+        return self._ex_plain(states & self.fair_states())
+
+    def _eu(self, constraint: Set[int], target: Set[int]) -> Set[int]:
+        if not self.fair_sets:
+            return self._eu_plain(constraint, target)
+        return self._eu_plain(constraint, target & self.fair_states())
+
+    def _eg(self, states: Set[int]) -> Set[int]:
+        if not self.fair_sets:
+            return self._eg_plain(states)
+        return self._eg_fair(states)
+
+    # ------------------------------------------------------------------
+    # Satisfaction
+    # ------------------------------------------------------------------
+
+    def sat(self, formula: CtlFormula) -> Set[int]:
+        """State indices satisfying ``formula`` under fair semantics."""
+        if isinstance(formula, Atom):
+            return self.model.states_satisfying(formula.expr, self.overrides)
+        if isinstance(formula, CtlNot):
+            return set(self.all_states) - self.sat(formula.operand)
+        if isinstance(formula, CtlAnd):
+            out = set(self.all_states)
+            for arg in formula.args:
+                out &= self.sat(arg)
+            return out
+        if isinstance(formula, CtlOr):
+            out: Set[int] = set()
+            for arg in formula.args:
+                out |= self.sat(arg)
+            return out
+        if isinstance(formula, CtlImplies):
+            return (set(self.all_states) - self.sat(formula.lhs)) | self.sat(
+                formula.rhs
+            )
+        if isinstance(formula, CtlIff):
+            lhs, rhs = self.sat(formula.lhs), self.sat(formula.rhs)
+            return (lhs & rhs) | (set(self.all_states) - lhs - rhs)
+        if isinstance(formula, CtlXor):
+            lhs, rhs = self.sat(formula.lhs), self.sat(formula.rhs)
+            return (lhs | rhs) - (lhs & rhs)
+        if isinstance(formula, EX):
+            return self._ex(self.sat(formula.operand))
+        if isinstance(formula, EF):
+            return self._eu(set(self.all_states), self.sat(formula.operand))
+        if isinstance(formula, EU):
+            return self._eu(self.sat(formula.lhs), self.sat(formula.rhs))
+        if isinstance(formula, EG):
+            return self._eg(self.sat(formula.operand))
+        if isinstance(formula, AX):
+            return set(self.all_states) - self._ex(
+                set(self.all_states) - self.sat(formula.operand)
+            )
+        if isinstance(formula, AG):
+            return set(self.all_states) - self._eu(
+                set(self.all_states),
+                set(self.all_states) - self.sat(formula.operand),
+            )
+        if isinstance(formula, AF):
+            return set(self.all_states) - self._eg(
+                set(self.all_states) - self.sat(formula.operand)
+            )
+        if isinstance(formula, AU):
+            p = self.sat(formula.lhs)
+            q = self.sat(formula.rhs)
+            not_q = set(self.all_states) - q
+            not_p_and_not_q = not_q - p
+            bad = self._eu(not_q, not_p_and_not_q) | self._eg(not_q)
+            return set(self.all_states) - bad
+        raise TypeError(f"unknown CTL node {type(formula).__name__}")
+
+    def holds(self, formula: CtlFormula) -> bool:
+        """Whether every initial state satisfies ``formula``."""
+        return self.model.initial <= self.sat(formula)

@@ -1,0 +1,47 @@
+"""Trace formatting helpers (counterexamples and traces to uncovered states).
+
+The paper's estimator "prints out traces to uncovered states by performing a
+breadth first reachability analysis ... and generating an input sequence
+corresponding to this path" (Section 3).  The path search lives on the FSM
+(:meth:`~repro.fsm.fsm.FSM.shortest_trace`); this module renders such traces
+for humans, splitting each step into latch state and input stimulus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..fsm.fsm import FSM
+
+__all__ = ["format_trace", "input_sequence"]
+
+
+def input_sequence(fsm: FSM, trace: List[Dict[str, bool]]) -> List[Dict[str, bool]]:
+    """Extract the primary-input stimulus driving each step of a trace.
+
+    The inputs of state ``k`` are what the circuit sees on cycle ``k``; the
+    final state's inputs do not influence reaching it and are omitted.
+    """
+    return [
+        {name: state[name] for name in fsm.inputs}
+        for state in trace[:-1]
+    ]
+
+
+def format_trace(
+    fsm: FSM, trace: Optional[List[Dict[str, bool]]], title: str = "trace"
+) -> str:
+    """Render a trace as numbered cycles with latch values and inputs."""
+    if trace is None:
+        return f"{title}: <target unreachable>"
+    lines = [f"{title} ({len(trace)} states):"]
+    input_names = set(fsm.inputs)
+    for k, state in enumerate(trace):
+        latches = {v: state[v] for v in fsm.state_vars if v not in input_names}
+        inputs = {v: state[v] for v in fsm.inputs}
+        line = f"  cycle {k}: {fsm.format_state(latches)}"
+        if inputs and k < len(trace) - 1:
+            stimulus = " ".join(f"{n}={int(v)}" for n, v in inputs.items())
+            line += f"   [inputs: {stimulus}]"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Smoke tests for DOT export."""
+
+from repro.bdd import BDDManager, to_dot
+
+
+def test_dot_contains_nodes_and_edges():
+    mgr = BDDManager(["a", "b"])
+    f = mgr.apply_and(mgr.var("a"), mgr.var("b"))
+    dot = to_dot(mgr, [("f", f)], title="and")
+    assert "digraph" in dot
+    assert 'label="a"' in dot
+    assert 'label="b"' in dot
+    assert "style=dashed" in dot
+    assert 'label="and"' in dot
+
+
+def test_dot_terminals_only():
+    mgr = BDDManager(["a"])
+    dot = to_dot(mgr, [("t", 1), ("f", 0)])
+    assert '0 [shape=box, label="0"]' in dot
+    assert '1 [shape=box, label="1"]' in dot

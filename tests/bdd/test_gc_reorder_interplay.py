@@ -1,0 +1,100 @@
+"""Interplay of garbage collection, reordering, and live functions."""
+
+import itertools
+
+from repro.bdd import BDDManager, Function, set_order, sift, swap_adjacent
+
+
+def _truth_table(f, mgr, names):
+    ids = {v: mgr.var_id(v) for v in names}
+    return [
+        f.evaluate({ids[v]: b for v, b in zip(names, bits)})
+        for bits in itertools.product([False, True], repeat=len(names))
+    ]
+
+
+def test_gc_then_reorder_then_gc():
+    names = ["a", "b", "c", "d"]
+    mgr = BDDManager(names)
+    keep = Function(
+        mgr,
+        mgr.apply_or(
+            mgr.apply_and(mgr.var("a"), mgr.var("d")),
+            mgr.apply_and(mgr.var("b"), mgr.apply_not(mgr.var("c"))),
+        ),
+    )
+    # Create garbage.
+    for i in range(4):
+        Function(mgr, mgr.apply_xor(mgr.var(names[i]), mgr.var(names[(i + 1) % 4])))
+    table = _truth_table(keep, mgr, names)
+    mgr.collect_garbage()
+    swap_adjacent(mgr, 1)
+    mgr.collect_garbage()
+    assert _truth_table(keep, mgr, names) == table
+
+
+def test_reorder_then_new_operations_consistent():
+    names = ["a", "b", "c"]
+    mgr = BDDManager(names)
+    f = Function(mgr, mgr.apply_and(mgr.var("a"), mgr.var("c")))
+    set_order(mgr, ["c", "b", "a"])
+    # New operations after reordering must be canonical with old nodes.
+    g = Function(mgr, mgr.apply_and(mgr.var("c"), mgr.var("a")))
+    assert f == g
+    h = f | Function(mgr, mgr.var("b"))
+    assert h.satcount() == 5
+
+
+def test_satcount_stable_across_reorder():
+    names = ["x", "y", "z", "w"]
+    mgr = BDDManager(names)
+    f = Function(
+        mgr,
+        mgr.apply_or(
+            mgr.apply_and(mgr.var("x"), mgr.var("w")),
+            mgr.apply_xor(mgr.var("y"), mgr.var("z")),
+        ),
+    )
+    before = f.satcount()
+    sift(mgr)
+    assert f.satcount() == before
+
+
+def test_cubes_valid_after_reorder():
+    names = ["x", "y", "z"]
+    mgr = BDDManager(names)
+    f = Function(mgr, mgr.apply_or(mgr.var("x"), mgr.apply_and(mgr.var("y"), mgr.var("z"))))
+    set_order(mgr, ["z", "y", "x"])
+    for cube in f.iter_cubes():
+        # Each cube (extended with anything for free vars) satisfies f.
+        env = {mgr.var_id(v): False for v in names}
+        env.update(cube)
+        assert f.evaluate(env)
+
+
+def test_gc_keeps_canonicity():
+    mgr = BDDManager(["a", "b"])
+    f = Function(mgr, mgr.apply_implies(mgr.var("a"), mgr.var("b")))
+    mgr.collect_garbage()
+    g = Function(mgr, mgr.apply_implies(mgr.var("a"), mgr.var("b")))
+    assert f == g
+
+
+def test_created_nodes_is_monotone():
+    mgr = BDDManager(["a", "b", "c"])
+    checkpoints = [mgr.created_nodes]
+    mgr.apply_and(mgr.var("a"), mgr.var("b"))
+    checkpoints.append(mgr.created_nodes)
+    mgr.collect_garbage()
+    checkpoints.append(mgr.created_nodes)
+    mgr.apply_or(mgr.var("a"), mgr.var("c"))
+    checkpoints.append(mgr.created_nodes)
+    assert checkpoints == sorted(checkpoints)
+
+
+def test_to_expr_str_renders_cubes():
+    mgr = BDDManager(["a", "b"])
+    f = mgr.apply_and(mgr.var("a"), mgr.apply_not(mgr.var("b")))
+    assert mgr.to_expr_str(f) == "a & !b"
+    assert mgr.to_expr_str(0) == "FALSE"
+    assert mgr.to_expr_str(1) == "TRUE"

@@ -1,0 +1,71 @@
+"""Tests for the Section 1 modulo-5 counter."""
+
+import pytest
+
+from repro.circuits import build_counter, counter_partial_properties, counter_properties
+from repro.coverage import CoverageEstimator
+from repro.ctl import parse_ctl
+from repro.expr import parse_expr
+from repro.mc import ModelChecker
+
+
+@pytest.fixture(scope="module")
+def fsm():
+    return build_counter()
+
+
+@pytest.fixture(scope="module")
+def checker(fsm):
+    return ModelChecker(fsm)
+
+
+class TestBehaviour:
+    def test_counts_zero_to_four(self, fsm, checker):
+        for value in range(5):
+            succ = (value + 1) % 5
+            assert checker.holds(
+                parse_ctl(f"AG (!stall & !reset & count = {value} -> AX count = {succ})")
+            )
+
+    def test_values_above_modulus_unreachable(self, fsm, checker):
+        assert checker.holds(parse_ctl("AG count < 5"))
+
+    def test_stall_holds(self, checker):
+        assert checker.holds(parse_ctl("AG (stall & !reset & count = 3 -> AX count = 3)"))
+
+    def test_reset_dominates_stall(self, checker):
+        assert checker.holds(parse_ctl("AG (reset & stall -> AX count = 0)"))
+
+    def test_reachable_state_count(self, fsm):
+        # 5 counter values x 4 input combinations.
+        assert fsm.count_states(fsm.reachable()) == 20
+
+
+class TestCoverage:
+    def test_complete_suite_covers_everything(self, fsm, checker):
+        est = CoverageEstimator(fsm, checker=checker)
+        report = est.estimate(counter_properties(), observed="count")
+        assert report.percentage == 100.0
+
+    def test_partial_suite_has_holes(self, fsm, checker):
+        est = CoverageEstimator(fsm, checker=checker)
+        report = est.estimate(counter_partial_properties(), observed="count")
+        assert 0 < report.percentage < 100.0
+        # The increment-only suite never checks count=0 states (reached by
+        # reset or wraparound, neither of which is verified).
+        zero = fsm.symbolize(parse_expr("count = 0"))
+        assert not report.covered.intersects(zero)
+
+    def test_partial_holes_point_at_missing_behaviours(self, fsm, checker):
+        est = CoverageEstimator(fsm, checker=checker)
+        report = est.estimate(counter_partial_properties(), observed="count")
+        holes = report.uncovered
+        zero = fsm.symbolize(parse_expr("count = 0")) & fsm.reachable()
+        assert zero.subseteq(holes)
+
+    def test_other_modulus(self):
+        fsm = build_counter(modulus=3)
+        checker = ModelChecker(fsm)
+        est = CoverageEstimator(fsm, checker=checker)
+        report = est.estimate(counter_properties(modulus=3), observed="count")
+        assert report.percentage == 100.0

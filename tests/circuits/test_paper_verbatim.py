@@ -1,0 +1,92 @@
+"""The paper's formulas, verbatim, against our circuits.
+
+The introduction's counter formula is written with a rigid constant C:
+
+    AG[(!stall & !reset & (count = C) & (C < 5)) -> AX (count = C + 1)]
+
+SMV-style verification instantiates C per value; these tests check the
+instantiated family (including the redundant ``count < 5`` conjunct) and
+the pipeline's nested-until pattern ``AG (p1 -> A[p2 U A[p3 U p4]])``
+exactly as Section 5 describes them.
+"""
+
+import pytest
+
+from repro.circuits import build_counter, build_pipeline
+from repro.coverage import CoverageEstimator
+from repro.ctl import AG, AU, CtlImplies, normalize_for_coverage, parse_ctl
+from repro.mc import ModelChecker
+
+
+class TestIntroFormula:
+    @pytest.fixture(scope="class")
+    def counter(self):
+        fsm = build_counter()
+        return fsm, ModelChecker(fsm)
+
+    @pytest.mark.parametrize("c", [0, 1, 2, 3])
+    def test_instantiated_intro_formula_holds(self, counter, c):
+        _, checker = counter
+        prop = parse_ctl(
+            f"AG (!stall & !reset & count = {c} & count < 5 "
+            f"-> AX count = {c + 1})"
+        )
+        assert checker.holds(prop)
+
+    def test_wraparound_case(self, counter):
+        _, checker = counter
+        # C = 4: the modulo-5 counter wraps to 0, so count = 5 never happens.
+        assert checker.holds(parse_ctl("AG count != 5"))
+        assert checker.holds(
+            parse_ctl("AG (!stall & !reset & count = 4 -> AX count = 0)")
+        )
+
+    def test_redundant_conjunct_does_not_change_coverage(self, counter):
+        fsm, checker = counter
+        est = CoverageEstimator(fsm, checker=checker)
+        plain = est.covered_set(
+            parse_ctl("AG (!stall & !reset & count = 2 -> AX count = 3)"),
+            observed="count",
+        )
+        with_bound = est.covered_set(
+            parse_ctl(
+                "AG (!stall & !reset & count = 2 & count < 5 -> AX count = 3)"
+            ),
+            observed="count",
+        )
+        assert plain == with_bound
+
+    def test_intro_formula_is_in_the_acceptable_subset(self):
+        prop = parse_ctl(
+            "AG (!stall & !reset & count = 2 & count < 5 -> AX count = 3)"
+        )
+        normalized = normalize_for_coverage(prop)
+        assert isinstance(normalized, AG)
+        assert isinstance(normalized.operand, CtlImplies)
+
+
+class TestSection5Shapes:
+    def test_buffer_property_shape(self):
+        # "if the buffer currently has B entries and I incoming entries and
+        # I + B is less than the size of buffer, then the buffer in the
+        # next clock should have I + B entries" — AG(b -> AX b') shape.
+        prop = parse_ctl("AG (p1 -> AX p2)")
+        normalized = normalize_for_coverage(prop)
+        assert isinstance(normalized.operand.rhs, type(parse_ctl("AX x")))
+
+    def test_pipeline_nested_until_shape(self):
+        # "AG (p1 -> A[p2 U A[p3 U p4]])"
+        prop = parse_ctl("AG (p1 -> A [p2 U A [p3 U p4]])")
+        normalized = normalize_for_coverage(prop)
+        inner = normalized.operand.rhs
+        assert isinstance(inner, AU)
+        assert isinstance(inner.rhs, AU)
+
+    def test_pipeline_nested_until_holds_on_circuit(self):
+        fsm = build_pipeline()
+        checker = ModelChecker(fsm)
+        prop = parse_ctl(
+            "AG (v1 & d1 = 0 -> A [v1 & d1 = 0 U A [v2 & d2 = 0 U "
+            "v3 & output = 0]])"
+        )
+        assert checker.holds(prop)

@@ -1,0 +1,123 @@
+"""Tests for Circuit 1: the priority buffer and its escaped-bug narrative."""
+
+import pytest
+
+from repro.circuits import (
+    build_priority_buffer,
+    priority_buffer_hi_properties,
+    priority_buffer_lo_augmented_properties,
+    priority_buffer_lo_hole_property,
+    priority_buffer_lo_properties,
+)
+from repro.coverage import CoverageEstimator, trace_to_uncovered
+from repro.ctl import parse_ctl
+from repro.expr import parse_expr
+from repro.mc import ModelChecker
+
+
+@pytest.fixture(scope="module")
+def good():
+    fsm = build_priority_buffer(buggy=False)
+    return fsm, ModelChecker(fsm)
+
+
+@pytest.fixture(scope="module")
+def buggy():
+    fsm = build_priority_buffer(buggy=True)
+    return fsm, ModelChecker(fsm)
+
+
+class TestInvariants:
+    def test_capacity_never_exceeded(self, good, buggy):
+        for fsm, checker in (good, buggy):
+            assert checker.holds(parse_ctl("AG total <= 4"))
+
+    def test_priority_wins_last_slot(self, good):
+        _, checker = good
+        assert checker.holds(parse_ctl(
+            "AG (!clear & !deq & in_hi & in_lo & total = 3 & lo = 1 "
+            "-> AX lo = 1)"
+        ))
+
+    def test_clear_empties(self, good):
+        _, checker = good
+        assert checker.holds(parse_ctl("AG (clear -> AX total = 0)"))
+
+    def test_dequeue_prefers_high(self, good):
+        _, checker = good
+        assert checker.holds(parse_ctl(
+            "AG (!clear & deq & !in_lo & hi = 2 & lo = 1 -> AX lo = 1)"
+        ))
+
+
+class TestSuitesVerify:
+    def test_hi_suite_passes_on_both(self, good, buggy):
+        for fsm, checker in (good, buggy):
+            for prop in priority_buffer_hi_properties():
+                assert checker.holds(prop), f"hi property failed on {fsm.name}"
+
+    def test_initial_lo_suite_passes_on_both(self, good, buggy):
+        # The bug escapes the initial suite — exactly the paper's story.
+        for fsm, checker in (good, buggy):
+            for prop in priority_buffer_lo_properties():
+                assert checker.holds(prop), f"lo property failed on {fsm.name}"
+
+    def test_hole_property_reveals_the_bug(self, good, buggy):
+        _, good_checker = good
+        _, buggy_checker = buggy
+        hole_prop = priority_buffer_lo_hole_property()
+        assert good_checker.holds(hole_prop)
+        assert not buggy_checker.holds(hole_prop)
+
+    def test_bug_counterexample_shows_dropped_entry(self, buggy):
+        fsm, checker = buggy
+        result = checker.check(priority_buffer_lo_hole_property())
+        assert result.counterexample is not None
+        last = result.counterexample[-1]
+        # The violating state: the entry was dropped, lo stayed 0.
+        lo_value = sum(
+            (1 << i) for i in range(3) if last.get(f"lo{i}", False)
+        )
+        assert lo_value == 0
+
+
+class TestCoverageNarrative:
+    def test_hi_coverage_is_full(self, good):
+        fsm, checker = good
+        est = CoverageEstimator(fsm, checker=checker)
+        report = est.estimate(priority_buffer_hi_properties(), observed="hi")
+        assert report.percentage == 100.0
+
+    def test_initial_lo_coverage_has_the_empty_hole(self, buggy):
+        fsm, checker = buggy
+        est = CoverageEstimator(fsm, checker=checker)
+        report = est.estimate(priority_buffer_lo_properties(), observed="lo")
+        assert report.percentage < 100.0
+        # All holes are empty-low-buffer states.
+        lo_zero = fsm.symbolize(parse_expr("lo = 0"))
+        assert report.uncovered.subseteq(lo_zero)
+
+    def test_trace_leads_to_an_empty_lo_state(self, buggy):
+        fsm, checker = buggy
+        est = CoverageEstimator(fsm, checker=checker)
+        report = est.estimate(priority_buffer_lo_properties(), observed="lo")
+        trace = trace_to_uncovered(report)
+        assert trace is not None
+        assert not any(trace[-1][f"lo{i}"] for i in range(3))
+
+    def test_augmented_lo_coverage_is_full_on_fixed_design(self, good):
+        fsm, checker = good
+        est = CoverageEstimator(fsm, checker=checker)
+        report = est.estimate(
+            priority_buffer_lo_augmented_properties(), observed="lo"
+        )
+        assert report.percentage == 100.0
+
+    def test_augmented_suite_fails_on_buggy_design(self, buggy):
+        _, checker = buggy
+        failing = [
+            p
+            for p in priority_buffer_lo_augmented_properties()
+            if not checker.holds(p)
+        ]
+        assert failing  # the added properties catch the bug

@@ -1,0 +1,162 @@
+"""Empirical validation of the paper's Correctness Theorem.
+
+The theorem: the Table 1 recursion (symbolic, on the original formula)
+computes exactly the Definition-3 covered set of the observability-
+transformed formula.  We check it by brute force on random Kripke
+structures and random formulas from the acceptable ACTL subset, with and
+without fairness constraints — the symbolic estimator and the dual-FSM
+mutation oracle must produce identical covered sets.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.coverage import CoverageEstimator, mutation_covered
+from repro.ctl.ast import AG, AU, AX, Atom, CtlAnd, CtlImplies
+from repro.expr import parse_expr
+from repro.fsm import ExplicitGraph
+from repro.mc import ExplicitModelChecker, ModelChecker
+
+LABELS = ["p", "q"]
+
+ATOMS = [
+    parse_expr("p"),
+    parse_expr("q"),
+    parse_expr("!q"),
+    parse_expr("p & q"),
+    parse_expr("p | q"),
+    parse_expr("true"),
+]
+
+
+@st.composite
+def graphs(draw, max_states=5):
+    n = draw(st.integers(2, max_states))
+    succs = [
+        draw(st.lists(st.integers(0, n - 1), min_size=1, max_size=3))
+        for _ in range(n)
+    ]
+    labels = [draw(st.sets(st.sampled_from(LABELS))) for _ in range(n)]
+    initial = draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=2))
+    g = ExplicitGraph("random", signals=LABELS)
+    for i in range(n):
+        g.state(f"s{i}", labels=labels[i], initial=(i in initial))
+    for i, outs in enumerate(succs):
+        for j in set(outs):
+            g.edge(f"s{i}", f"s{j}")
+    return g
+
+
+def acceptable_formulas(depth):
+    """Random members of the paper's acceptable ACTL subset."""
+    atom = st.sampled_from(ATOMS).map(Atom)
+    if depth == 0:
+        return atom
+    sub = acceptable_formulas(depth - 1)
+    return st.one_of(
+        atom,
+        st.tuples(st.sampled_from(ATOMS).map(Atom), sub).map(
+            lambda t: CtlImplies(*t)
+        ),
+        sub.map(AX),
+        sub.map(AG),
+        st.tuples(sub, sub).map(lambda t: AU(*t)),
+        st.tuples(sub, sub).map(lambda t: CtlAnd(t)),
+    )
+
+
+FORMULA = acceptable_formulas(3)
+
+
+def _names(model, indices):
+    return {model.state_names[i] for i in indices}
+
+
+@settings(max_examples=150, deadline=None)
+@given(graphs(), FORMULA, st.sampled_from(LABELS))
+def test_estimator_equals_mutation_oracle(graph, formula, observed):
+    model = graph.to_model()
+    # Coverage is only defined for satisfied properties.
+    assume(ExplicitModelChecker(model).holds(formula))
+
+    oracle = mutation_covered(model, formula, observed, verify=False)
+
+    fsm = graph.to_fsm()
+    covered = CoverageEstimator(fsm).covered_set(
+        formula, observed=observed, verify=False
+    )
+    symbolic_names = graph.set_to_states(fsm, covered)
+    # The oracle tests reachable states only; the estimator starts from the
+    # initial states so it cannot mark unreachable ones either.
+    assert symbolic_names == _names(model, oracle), f"disagree on {formula}"
+
+
+@settings(max_examples=80, deadline=None)
+@given(graphs(max_states=4), acceptable_formulas(2), st.sampled_from(LABELS),
+       st.sampled_from(LABELS))
+def test_estimator_equals_oracle_under_fairness(graph, formula, observed, fair):
+    model = graph.to_model()
+    fair_expr = parse_expr(fair)
+    assume(ExplicitModelChecker(model, fairness=[fair_expr]).holds(formula))
+
+    oracle = mutation_covered(
+        model, formula, observed, fairness=[fair_expr], verify=False
+    )
+
+    fsm = graph.to_fsm()
+    fsm.fairness = [fsm.signal(fair)]
+    covered = CoverageEstimator(fsm).covered_set(
+        formula, observed=observed, verify=False
+    )
+    symbolic_names = graph.set_to_states(fsm, covered)
+    assert symbolic_names == _names(model, oracle), (
+        f"fairness disagree on {formula}"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), FORMULA)
+def test_multi_observed_is_union(graph, formula):
+    model = graph.to_model()
+    assume(ExplicitModelChecker(model).holds(formula))
+    fsm = graph.to_fsm()
+    est = CoverageEstimator(fsm)
+    both = est.covered_set(formula, observed=["p", "q"], verify=False)
+    p_only = est.covered_set(formula, observed="p", verify=False)
+    q_only = est.covered_set(formula, observed="q", verify=False)
+    assert both == (p_only | q_only)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), FORMULA, st.sampled_from(LABELS))
+def test_covered_set_within_reachable(graph, formula, observed):
+    model = graph.to_model()
+    assume(ExplicitModelChecker(model).holds(formula))
+    fsm = graph.to_fsm()
+    covered = CoverageEstimator(fsm).covered_set(
+        formula, observed=observed, verify=False
+    )
+    assert covered.subseteq(fsm.reachable())
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), FORMULA, st.sampled_from(LABELS))
+def test_minimality_flipping_uncovered_preserves_property(
+    graph, formula, observed
+):
+    """First covered-set characteristic (Section 2): flipping the observed
+    signal outside the covered set must keep the transformed property true."""
+    from repro.coverage.mutation import reachable_indices
+
+    model = graph.to_model()
+    assume(ExplicitModelChecker(model).holds(formula))
+    oracle = mutation_covered(model, formula, observed, verify=False)
+    fsm = graph.to_fsm()
+    covered = CoverageEstimator(fsm).covered_set(
+        formula, observed=observed, verify=False
+    )
+    uncovered_reachable = reachable_indices(model) - oracle
+    # By oracle construction flipping there keeps the property; the symbolic
+    # set must not contain any of those states.
+    symbolic_names = graph.set_to_states(fsm, covered)
+    for index in uncovered_reachable:
+        assert model.state_names[index] not in symbolic_names

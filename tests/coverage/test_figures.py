@@ -1,0 +1,212 @@
+"""The paper's Figures 1-3 as literal graphs, checked end to end.
+
+* Figure 1 — the covered state of ``AG (p1 -> AX AX q)``.
+* Figure 2 — ``A[p1 U q]``: raw Definition 3 yields zero coverage; the
+  observability transformation marks the first-reached q state.
+* Figure 3 — the ``traverse`` / ``firstreached`` sets of ``A[f1 U f2]``.
+"""
+
+from repro.coverage import (
+    CoverageEstimator,
+    firstreached,
+    mutation_covered,
+    mutation_covered_raw,
+    traverse,
+)
+from repro.ctl import parse_ctl
+from repro.fsm import ExplicitGraph
+from repro.mc import ModelChecker
+
+
+def figure1_graph():
+    """AG(p1 -> AX AX q): initial p1 state, the state two steps later is
+    covered; other q states are not."""
+    g = ExplicitGraph("figure1", signals=["p1", "q"])
+    g.state("init", labels={"p1"}, initial=True)
+    g.state("mid", labels=set())
+    g.state("marked", labels={"q"})       # the covered state of the figure
+    g.state("other_q", labels={"q"})      # q elsewhere: not covered
+    g.edge("init", "mid")
+    g.edge("mid", "marked")
+    g.edge("marked", "other_q")
+    g.edge("other_q", "other_q")
+    return g
+
+
+def figure2_graph():
+    """A[p1 U q] along a chain where the first q state also satisfies p1 and
+    a later state carries q too (the paper's zero-coverage example)."""
+    g = ExplicitGraph("figure2", signals=["p1", "q"])
+    g.state("s0", labels={"p1"}, initial=True)
+    g.state("s1", labels={"p1"})
+    g.state("s2", labels={"p1", "q"})     # first q: intuitively covered
+    g.state("s3", labels={"q"})
+    g.edge("s0", "s1")
+    g.edge("s1", "s2")
+    g.edge("s2", "s3")
+    g.edge("s3", "s3")
+    return g
+
+
+def figure3_graph():
+    """Two branches of f1 states leading to f2 states, then a sink."""
+    g = ExplicitGraph("figure3", signals=["f1", "f2"])
+    g.state("a", labels={"f1"}, initial=True)
+    g.state("b", labels={"f1"})
+    g.state("c", labels={"f1"})
+    g.state("d", labels={"f2"})
+    g.state("e", labels={"f2"})
+    g.state("sink", labels=set())
+    g.edge("a", "b")
+    g.edge("a", "c")
+    g.edge("b", "d")
+    g.edge("c", "e")
+    g.edge("d", "sink")
+    g.edge("e", "sink")
+    g.edge("sink", "sink")
+    return g
+
+
+class TestFigure1:
+    FORMULA = "AG (p1 -> AX AX q)"
+
+    def test_property_holds(self):
+        g = figure1_graph()
+        assert ModelChecker(g.to_fsm()).holds(parse_ctl(self.FORMULA))
+
+    def test_symbolic_covered_set_is_the_marked_state(self):
+        g = figure1_graph()
+        fsm = g.to_fsm()
+        estimator = CoverageEstimator(fsm)
+        covered = estimator.covered_set(parse_ctl(self.FORMULA), observed="q")
+        assert g.set_to_states(fsm, covered) == {"marked"}
+
+    def test_mutation_oracle_agrees(self):
+        g = figure1_graph()
+        model = g.to_model()
+        covered = mutation_covered(model, parse_ctl(self.FORMULA), "q")
+        names = {model.state_names[i] for i in covered}
+        assert names == {"marked"}
+
+    def test_other_q_state_is_not_covered(self):
+        g = figure1_graph()
+        fsm = g.to_fsm()
+        covered = CoverageEstimator(fsm).covered_set(
+            parse_ctl(self.FORMULA), observed="q"
+        )
+        assert "other_q" not in g.set_to_states(fsm, covered)
+
+    def test_coverage_percentage(self):
+        g = figure1_graph()
+        fsm = g.to_fsm()
+        report = CoverageEstimator(fsm).estimate(
+            [parse_ctl(self.FORMULA)], observed="q"
+        )
+        # 1 covered state of 4 reachable.
+        assert report.space_count == 4
+        assert report.covered_count == 1
+        assert abs(report.percentage - 25.0) < 1e-9
+
+
+class TestFigure2:
+    FORMULA = "A [p1 U q]"
+
+    def test_property_holds(self):
+        g = figure2_graph()
+        assert ModelChecker(g.to_fsm()).holds(parse_ctl(self.FORMULA))
+
+    def test_raw_definition3_coverage_is_zero(self):
+        # The paper: "none of the states on this path will be considered
+        # covered by the definition. Thus the coverage for this property
+        # will be zero."
+        g = figure2_graph()
+        model = g.to_model()
+        covered = mutation_covered_raw(model, parse_ctl(self.FORMULA), "q")
+        assert covered == set()
+
+    def test_transformed_coverage_marks_first_q_state(self):
+        g = figure2_graph()
+        model = g.to_model()
+        covered = mutation_covered(model, parse_ctl(self.FORMULA), "q")
+        names = {model.state_names[i] for i in covered}
+        assert names == {"s2"}
+
+    def test_symbolic_estimator_matches_transformed_semantics(self):
+        g = figure2_graph()
+        fsm = g.to_fsm()
+        covered = CoverageEstimator(fsm).covered_set(
+            parse_ctl(self.FORMULA), observed="q"
+        )
+        assert g.set_to_states(fsm, covered) == {"s2"}
+
+    def test_p1_coverage_also_intuitive(self):
+        # With p1 observed, the prefix states are covered via the left arm.
+        g = figure2_graph()
+        fsm = g.to_fsm()
+        covered = CoverageEstimator(fsm).covered_set(
+            parse_ctl(self.FORMULA), observed="p1"
+        )
+        model = g.to_model()
+        oracle = mutation_covered(model, parse_ctl(self.FORMULA), "p1")
+        assert g.set_to_states(fsm, covered) == {
+            model.state_names[i] for i in oracle
+        }
+
+
+class TestFigure3:
+    def test_traverse_set(self):
+        g = figure3_graph()
+        fsm = g.to_fsm()
+        mc = ModelChecker(fsm)
+        t_f1 = mc.sat(parse_ctl("f1"))
+        t_f2 = mc.sat(parse_ctl("f2"))
+        got = traverse(fsm, fsm.init, t_f1, t_f2)
+        assert g.set_to_states(fsm, got) == {"a", "b", "c"}
+
+    def test_firstreached_set(self):
+        g = figure3_graph()
+        fsm = g.to_fsm()
+        mc = ModelChecker(fsm)
+        t_f2 = mc.sat(parse_ctl("f2"))
+        got = firstreached(fsm, fsm.init, t_f2)
+        assert g.set_to_states(fsm, got) == {"d", "e"}
+
+    def test_firstreached_stops_at_first_hit(self):
+        # Extend the graph: a q state *behind* another q state must not be
+        # first-reached.
+        g = ExplicitGraph("chain", signals=["f2"])
+        g.state("x", initial=True)
+        g.state("y", labels={"f2"})
+        g.state("z", labels={"f2"})
+        g.edge("x", "y")
+        g.edge("y", "z")
+        g.edge("z", "z")
+        fsm = g.to_fsm()
+        t_f2 = fsm.signal("f2")
+        got = firstreached(fsm, fsm.init, t_f2)
+        assert g.set_to_states(fsm, got) == {"y"}
+
+    def test_traverse_does_not_escape_f1(self):
+        # f1 broken by a gap: traversal must stop at the gap.
+        g = ExplicitGraph("gap", signals=["f1", "f2"])
+        g.state("a", labels={"f1"}, initial=True)
+        g.state("gap", labels=set())
+        g.state("b", labels={"f1"})
+        g.state("end", labels={"f2"})
+        g.edge("a", "gap")
+        g.edge("gap", "b")
+        g.edge("b", "end")
+        g.edge("end", "end")
+        fsm = g.to_fsm()
+        got = traverse(fsm, fsm.init, fsm.signal("f1"), fsm.signal("f2"))
+        assert g.set_to_states(fsm, got) == {"a"}
+
+    def test_start_state_already_satisfying_f2(self):
+        g = ExplicitGraph("immediate", signals=["f1", "f2"])
+        g.state("a", labels={"f2"}, initial=True)
+        g.edge("a", "a")
+        fsm = g.to_fsm()
+        fr = firstreached(fsm, fsm.init, fsm.signal("f2"))
+        tv = traverse(fsm, fsm.init, fsm.signal("f1"), fsm.signal("f2"))
+        assert g.set_to_states(fsm, fr) == {"a"}
+        assert g.set_to_states(fsm, tv) == set()

@@ -1,0 +1,107 @@
+"""Unit tests for the Definition-3 mutation oracle module itself."""
+
+import pytest
+
+from repro.circuits import figure1_graph, figure2_graph
+from repro.coverage import (
+    mutation_covered,
+    mutation_covered_raw,
+    reachable_indices,
+)
+from repro.ctl import parse_ctl
+from repro.errors import VerificationError
+from repro.expr import parse_expr
+from repro.fsm import ExplicitGraph
+
+
+class TestReachableIndices:
+    def test_chain(self):
+        model = figure1_graph().to_model()
+        assert reachable_indices(model) == {0, 1, 2, 3}
+
+    def test_unreachable_states_excluded(self):
+        g = ExplicitGraph("island", signals=["p"])
+        g.state("a", labels={"p"}, initial=True)
+        g.state("island", labels={"p"})
+        g.edge("a", "a")
+        g.edge("island", "island")
+        model = g.to_model()
+        assert reachable_indices(model) == {0}
+
+
+class TestVerifyGate:
+    def test_failing_property_raises(self):
+        model = figure1_graph().to_model()
+        with pytest.raises(VerificationError):
+            mutation_covered(model, parse_ctl("AG q"), "q")
+
+    def test_raw_variant_also_gated(self):
+        model = figure1_graph().to_model()
+        with pytest.raises(VerificationError):
+            mutation_covered_raw(model, parse_ctl("AG q"), "q")
+
+    def test_verify_false_bypasses(self):
+        model = figure1_graph().to_model()
+        covered = mutation_covered(
+            model, parse_ctl("AG q"), "q", verify=False
+        )
+        assert isinstance(covered, set)
+
+
+class TestCandidates:
+    def test_candidate_restriction(self):
+        model = figure2_graph().to_model()
+        full = mutation_covered(model, parse_ctl("A [p1 U q]"), "q")
+        assert full == {2}  # state s2
+        restricted = mutation_covered(
+            model, parse_ctl("A [p1 U q]"), "q", candidates=[0, 1]
+        )
+        assert restricted == set()
+
+    def test_unreachable_states_never_covered(self):
+        g = ExplicitGraph("island", signals=["q"])
+        g.state("a", labels={"q"}, initial=True)
+        g.state("island", labels={"q"})
+        g.edge("a", "a")
+        g.edge("island", "island")
+        model = g.to_model()
+        covered = mutation_covered(
+            model, parse_ctl("AG q"), "q", candidates=range(model.n)
+        )
+        # Flipping q at the unreachable island cannot falsify AG q.
+        assert covered == {0}
+
+
+class TestMultiObserved:
+    def test_union_of_signals(self):
+        model = figure2_graph().to_model()
+        prop = parse_ctl("A [p1 U q]")
+        both = mutation_covered(model, prop, ["p1", "q"])
+        p1_only = mutation_covered(model, prop, "p1")
+        q_only = mutation_covered(model, prop, "q")
+        assert both == p1_only | q_only
+
+
+class TestRawVsTransformed:
+    def test_transformed_is_superset_on_figure2(self):
+        model = figure2_graph().to_model()
+        prop = parse_ctl("A [p1 U q]")
+        raw = mutation_covered_raw(model, prop, "q")
+        transformed = mutation_covered(model, prop, "q")
+        assert raw <= transformed
+        assert raw == set()
+        assert transformed == {2}
+
+    def test_identical_for_pure_ag_atom(self):
+        # For AG b the transformation only renames q; raw and transformed
+        # coverage coincide.
+        g = ExplicitGraph("simple", signals=["q"])
+        g.state("a", labels={"q"}, initial=True)
+        g.state("b", labels={"q"})
+        g.edge("a", "b")
+        g.edge("b", "a")
+        model = g.to_model()
+        prop = parse_ctl("AG q")
+        assert mutation_covered_raw(model, prop, "q") == mutation_covered(
+            model, prop, "q"
+        )

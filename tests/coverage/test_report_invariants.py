@@ -1,0 +1,141 @@
+"""Property-based invariants of coverage reports and the estimator.
+
+These pin down the algebraic structure the paper relies on: coverage of a
+suite is the union of per-property coverage (monotone in the suite),
+don't-cares only shrink the space, and Definition 4 is consistent with the
+reported sets.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.coverage import CoverageEstimator
+from repro.ctl.ast import AG, AU, AX, Atom, CtlAnd, CtlImplies
+from repro.expr import parse_expr
+from repro.fsm import ExplicitGraph
+from repro.mc import ExplicitModelChecker, ModelChecker
+
+LABELS = ["p", "q"]
+
+ATOMS = [
+    parse_expr("p"),
+    parse_expr("q"),
+    parse_expr("!q"),
+    parse_expr("p | q"),
+    parse_expr("true"),
+]
+
+
+@st.composite
+def graphs(draw, max_states=5):
+    n = draw(st.integers(2, max_states))
+    succs = [
+        draw(st.lists(st.integers(0, n - 1), min_size=1, max_size=3))
+        for _ in range(n)
+    ]
+    labels = [draw(st.sets(st.sampled_from(LABELS))) for _ in range(n)]
+    initial = draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=2))
+    g = ExplicitGraph("random", signals=LABELS)
+    for i in range(n):
+        g.state(f"s{i}", labels=labels[i], initial=(i in initial))
+    for i, outs in enumerate(succs):
+        for j in set(outs):
+            g.edge(f"s{i}", f"s{j}")
+    return g
+
+
+def formulas(depth):
+    atom = st.sampled_from(ATOMS).map(Atom)
+    if depth == 0:
+        return atom
+    sub = formulas(depth - 1)
+    return st.one_of(
+        atom,
+        st.tuples(st.sampled_from(ATOMS).map(Atom), sub).map(
+            lambda t: CtlImplies(*t)
+        ),
+        sub.map(AX),
+        sub.map(AG),
+        st.tuples(sub, sub).map(lambda t: AU(*t)),
+        st.tuples(sub, sub).map(lambda t: CtlAnd(t)),
+    )
+
+
+def holding_suite(graph, candidate_formulas, limit=3):
+    model = graph.to_model()
+    checker = ExplicitModelChecker(model)
+    suite = [f for f in candidate_formulas if checker.holds(f)]
+    return suite[:limit]
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), st.lists(formulas(2), min_size=1, max_size=4))
+def test_suite_coverage_is_union_of_property_coverage(graph, candidates):
+    suite = holding_suite(graph, candidates)
+    assume(suite)
+    fsm = graph.to_fsm()
+    est = CoverageEstimator(fsm)
+    report = est.estimate(suite, observed="q", verify=False)
+    union = fsm.empty_set()
+    for prop in suite:
+        union = union | (est.covered_set(prop, observed="q", verify=False)
+                         & report.space)
+    assert union == report.covered
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), st.lists(formulas(2), min_size=2, max_size=4))
+def test_adding_properties_never_reduces_coverage(graph, candidates):
+    suite = holding_suite(graph, candidates, limit=4)
+    assume(len(suite) >= 2)
+    fsm = graph.to_fsm()
+    est = CoverageEstimator(fsm)
+    smaller = est.estimate(suite[:-1], observed="q", verify=False)
+    larger = est.estimate(suite, observed="q", verify=False)
+    assert smaller.covered.subseteq(larger.covered)
+    assert smaller.percentage <= larger.percentage + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), formulas(2), st.sampled_from(["p", "q", "p & q"]))
+def test_dont_care_only_shrinks_space_and_uncovered(graph, formula, dc):
+    model = graph.to_model()
+    assume(ExplicitModelChecker(model).holds(formula))
+    fsm = graph.to_fsm()
+    est = CoverageEstimator(fsm)
+    plain = est.estimate([formula], observed="q", verify=False)
+    excused = est.estimate([formula], observed="q", verify=False, dont_care=dc)
+    assert excused.space.subseteq(plain.space)
+    assert excused.uncovered.subseteq(plain.uncovered)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), formulas(2))
+def test_definition4_percentage_consistent(graph, formula):
+    model = graph.to_model()
+    assume(ExplicitModelChecker(model).holds(formula))
+    fsm = graph.to_fsm()
+    est = CoverageEstimator(fsm)
+    report = est.estimate([formula], observed="q", verify=False)
+    assert report.covered.subseteq(report.space)
+    expected = (
+        100.0 * report.covered_count / report.space_count
+        if report.space_count
+        else 100.0
+    )
+    assert abs(report.percentage - expected) < 1e-9
+    assert report.is_fully_covered() == (report.covered == report.space)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), formulas(2))
+def test_covered_set_independent_of_start_representation(graph, formula):
+    """covered_set(start=init) must equal the default-start call."""
+    model = graph.to_model()
+    assume(ExplicitModelChecker(model).holds(formula))
+    fsm = graph.to_fsm()
+    est = CoverageEstimator(fsm)
+    default = est.covered_set(formula, observed="q", verify=False)
+    explicit_start = est.covered_set(
+        formula, observed="q", start=fsm.init, verify=False
+    )
+    assert default == explicit_start

@@ -1,0 +1,80 @@
+"""Tests for the acceptable ACTL subset validation and AF desugaring."""
+
+import pytest
+
+from repro.ctl import (
+    AU,
+    Atom,
+    TRUE_ATOM,
+    desugar_af,
+    normalize_for_coverage,
+    parse_ctl,
+    validate_acceptable,
+)
+from repro.errors import NotInSubsetError
+from repro.expr import Var
+
+
+class TestAcceptable:
+    GOOD = [
+        "p",
+        "p & q",
+        "p -> AX q",
+        "AX p",
+        "AG p",
+        "AG (p -> AX q)",
+        "A [p U q]",
+        "AG (p -> A [q U r])",
+        "AG p & AG q",
+        "p -> (q -> AX r)",
+        "AG (p1 -> AX AX q)",
+        "A [A [p U q] U r]",
+        "AF p",  # sugar
+        "AG (req -> AF ack)",
+    ]
+
+    @pytest.mark.parametrize("text", GOOD)
+    def test_accepted(self, text):
+        normalize_for_coverage(parse_ctl(text))  # must not raise
+
+    BAD = [
+        ("AX p | AG q", "disjunction"),
+        ("!AX p", "negation"),
+        ("EX p", "existential"),
+        ("EG p", "existential"),
+        ("E [p U q]", "existential"),
+        ("AX p -> AX q", "antecedent"),
+        ("AG p <-> AG q", "subset"),
+    ]
+
+    @pytest.mark.parametrize("text,fragment", BAD)
+    def test_rejected_with_informative_message(self, text, fragment):
+        with pytest.raises(NotInSubsetError) as exc:
+            normalize_for_coverage(parse_ctl(text))
+        assert fragment.lower() in str(exc.value).lower()
+
+    def test_propositional_or_is_fine(self):
+        # Disjunction of *propositional* formulas collapses to an atom.
+        normalize_for_coverage(parse_ctl("AG (p | q)"))
+
+    def test_propositional_negation_is_fine(self):
+        normalize_for_coverage(parse_ctl("AG (!p -> AX q)"))
+
+
+class TestDesugarAf:
+    def test_af_becomes_true_until(self):
+        f = desugar_af(parse_ctl("AF p"))
+        assert f == AU(TRUE_ATOM, Atom(Var("p")))
+
+    def test_nested_af(self):
+        f = desugar_af(parse_ctl("AG (req -> AF ack)"))
+        expected = parse_ctl("AG (req -> A [true U ack])")
+        assert f == expected
+
+    def test_af_inside_until(self):
+        f = desugar_af(parse_ctl("A [p U AF q]"))
+        assert f == AU(Atom(Var("p")), AU(TRUE_ATOM, Atom(Var("q"))))
+
+    def test_normalize_is_idempotent(self):
+        f = normalize_for_coverage(parse_ctl("AG (req -> AF ack)"))
+        assert normalize_for_coverage(f) == f

@@ -1,0 +1,138 @@
+"""Tests for the CTL parser, printer, and propositional collapsing."""
+
+import pytest
+
+from repro.ctl import (
+    AF,
+    AG,
+    AU,
+    AX,
+    Atom,
+    CtlAnd,
+    CtlImplies,
+    CtlNot,
+    CtlOr,
+    EF,
+    EG,
+    EU,
+    EX,
+    ctl_to_str,
+    formula_atoms,
+    is_propositional,
+    parse_ctl,
+)
+from repro.errors import ParseError
+from repro.expr import And, Not, Var, WordCmp, parse_expr
+
+
+class TestTemporalOperators:
+    def test_ag(self):
+        f = parse_ctl("AG ready")
+        assert f == AG(Atom(Var("ready")))
+
+    def test_nested_ax(self):
+        f = parse_ctl("AX AX q")
+        assert f == AX(AX(Atom(Var("q"))))
+
+    def test_af_ef_eg_ex(self):
+        assert isinstance(parse_ctl("AF p"), AF)
+        assert isinstance(parse_ctl("EF p"), EF)
+        assert isinstance(parse_ctl("EG p"), EG)
+        assert isinstance(parse_ctl("EX p"), EX)
+
+    def test_until(self):
+        f = parse_ctl("A [p U q]")
+        assert f == AU(Atom(Var("p")), Atom(Var("q")))
+
+    def test_existential_until(self):
+        f = parse_ctl("E [p U q]")
+        assert f == EU(Atom(Var("p")), Atom(Var("q")))
+
+    def test_nested_until(self):
+        f = parse_ctl("A [p U A [q U r]]")
+        assert f == AU(Atom(Var("p")), AU(Atom(Var("q")), Atom(Var("r"))))
+
+    def test_paper_counter_property_shape(self):
+        f = parse_ctl("AG (!stall & !reset & count < 5 -> AX count = 3)")
+        assert isinstance(f, AG)
+        assert isinstance(f.operand, CtlImplies)
+        antecedent = f.operand.lhs
+        assert isinstance(antecedent, Atom)
+        assert antecedent.expr == parse_expr("!stall & !reset & count < 5")
+        consequent = f.operand.rhs
+        assert consequent == AX(Atom(WordCmp("==", "count", 3)))
+
+    def test_paper_pipeline_property_shape(self):
+        f = parse_ctl("AG (p1 -> A [p2 U A [p3 U p4]])")
+        assert isinstance(f, AG)
+        assert isinstance(f.operand.rhs, AU)
+
+    def test_signal_named_a_is_a_variable(self):
+        f = parse_ctl("A & b")
+        assert f == Atom(parse_expr("A & b"))
+
+    def test_missing_u_raises(self):
+        with pytest.raises(ParseError):
+            parse_ctl("A [p q]")
+
+    def test_unclosed_until_raises(self):
+        with pytest.raises(ParseError):
+            parse_ctl("A [p U q")
+
+
+class TestCollapsing:
+    def test_pure_propositional_becomes_single_atom(self):
+        f = parse_ctl("!stall & !reset & count < 5")
+        assert isinstance(f, Atom)
+        assert f.expr == parse_expr("!stall & !reset & count < 5")
+
+    def test_mixed_keeps_temporal_structure(self):
+        f = parse_ctl("p & AX q")
+        assert isinstance(f, CtlAnd)
+        assert f.args[0] == Atom(Var("p"))
+        assert f.args[1] == AX(Atom(Var("q")))
+
+    def test_negation_of_atom_collapses(self):
+        f = parse_ctl("!p")
+        assert f == Atom(Not(Var("p")))
+
+    def test_negation_of_temporal_stays(self):
+        f = parse_ctl("!AX p")
+        assert f == CtlNot(AX(Atom(Var("p"))))
+
+    def test_or_of_temporal_stays(self):
+        f = parse_ctl("AX p | AG q")
+        assert isinstance(f, CtlOr)
+
+    def test_is_propositional(self):
+        assert is_propositional(parse_ctl("a & b | !c"))
+        assert not is_propositional(parse_ctl("AX a"))
+
+
+class TestPrinterRoundTrip:
+    CASES = [
+        "AG ready",
+        "AX AX q",
+        "A [p U q]",
+        "E [p U q]",
+        "AG (p1 -> AX AX q)",
+        "AG (!stall & !reset & count < 5 -> AX count = 3)",
+        "A [p U A [q U r]]",
+        "AG (p -> A [p2 U A [p3 U p4]])",
+        "!AX p",
+        "AX p | AG q",
+        "EF (p & q)",
+        "AG p & AG q",
+        "p -> AX q",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip(self, text):
+        parsed = parse_ctl(text)
+        assert parse_ctl(ctl_to_str(parsed)) == parsed
+
+
+class TestAtomCollection:
+    def test_formula_atoms(self):
+        f = parse_ctl("AG (!stall & count < 5 -> AX count = 3)")
+        assert formula_atoms(f) == frozenset({"stall", "count"})

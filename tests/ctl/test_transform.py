@@ -1,0 +1,126 @@
+"""Tests for the observability transformation (paper Definition 5)."""
+
+import pytest
+
+from repro.ctl import (
+    AG,
+    AU,
+    AX,
+    Atom,
+    CtlAnd,
+    CtlImplies,
+    CtlNot,
+    normalize_for_coverage,
+    observability_transform,
+    parse_ctl,
+    prime_name,
+    substitute_signal,
+)
+from repro.errors import NotInSubsetError
+from repro.expr import Not, Var, parse_expr
+
+
+def transform(text, observed="q"):
+    return observability_transform(
+        normalize_for_coverage(parse_ctl(text)), observed
+    )
+
+
+class TestAtomRule:
+    def test_atom_substitutes_q(self):
+        assert transform("q") == Atom(Var("q'"))
+
+    def test_atom_without_q_unchanged(self):
+        assert transform("p") == Atom(Var("p"))
+
+    def test_compound_atom_substitutes_inside(self):
+        got = transform("p & !q")
+        assert got == Atom(parse_expr("p & !q'"))
+
+
+class TestImplicationRule:
+    def test_antecedent_keeps_original_q(self):
+        # phi(b -> f) = b -> phi(f): q in the antecedent is NOT primed.
+        got = transform("q -> AX q")
+        expected = CtlImplies(Atom(Var("q")), AX(Atom(Var("q'"))))
+        assert got == expected
+
+    def test_paper_counter_shape(self):
+        got = transform("AG (p -> AX q)")
+        expected = AG(CtlImplies(Atom(Var("p")), AX(Atom(Var("q'")))))
+        assert got == expected
+
+
+class TestTemporalRules:
+    def test_ax_distributes(self):
+        assert transform("AX q") == AX(Atom(Var("q'")))
+
+    def test_ag_distributes(self):
+        assert transform("AG q") == AG(Atom(Var("q'")))
+
+    def test_conjunction_distributes(self):
+        got = transform("AX q & AG q")
+        assert got == CtlAnd((AX(Atom(Var("q'"))), AG(Atom(Var("q'")))))
+
+
+class TestUntilRule:
+    def test_until_splits_into_two_conjuncts(self):
+        # phi(A[p U q]) = A[phi(p) U q] & A[(p & !q) U phi(q)]
+        got = transform("A [p U q]")
+        left = AU(Atom(Var("p")), Atom(Var("q")))
+        right = AU(Atom(parse_expr("p & !q")), Atom(Var("q'")))
+        assert got == CtlAnd((left, right))
+
+    def test_until_with_q_on_both_sides(self):
+        got = transform("A [q U r]", observed="q")
+        left = AU(Atom(Var("q'")), Atom(Var("r")))
+        right = AU(Atom(parse_expr("q & !r")), Atom(Var("r")))
+        assert got == CtlAnd((left, right))
+
+    def test_until_temporal_arms(self):
+        # The (f & !g) conjunct may negate a temporal g: leaves ACTL, still
+        # a well-formed CTL formula.
+        got = transform("A [p U AX q]")
+        assert isinstance(got, CtlAnd)
+        left, right = got.args
+        assert left == AU(Atom(Var("p")), AX(Atom(Var("q"))))
+        assert isinstance(right, AU)
+        assert isinstance(right.lhs, CtlAnd)
+        assert isinstance(right.lhs.args[1], CtlNot)
+        assert right.rhs == AX(Atom(Var("q'")))
+
+    def test_af_desugared_before_transform(self):
+        # AF q = A[true U q]: phi = A[true U q] & A[(true & !q) U q']
+        got = transform("AF q")
+        assert isinstance(got, CtlAnd)
+        assert got.args[1].rhs == Atom(Var("q'"))
+
+
+class TestSubstituteSignal:
+    def test_var_substitution(self):
+        expr = parse_expr("p & !q")
+        assert substitute_signal(expr, "q", "q'") == parse_expr("p & !q'")
+
+    def test_word_cmp_mentioning_observed_rejected(self):
+        expr = parse_expr("count < 5")
+        with pytest.raises(NotInSubsetError):
+            substitute_signal(expr, "count", "count'")
+
+    def test_word_cmp_not_mentioning_observed_ok(self):
+        expr = parse_expr("count < 5")
+        assert substitute_signal(expr, "q", "q'") == expr
+
+
+class TestPrimeName:
+    def test_prime_name(self):
+        assert prime_name("wrap") == "wrap'"
+
+    def test_transform_semantic_equivalence_note(self):
+        # phi(f) with q' == q must be semantically identical to f; spot-check
+        # the structure used by the estimator correctness tests.
+        got = transform("AG (p -> AX q)")
+        # Replacing q' back by q recovers the original formula.
+        from repro.ctl import map_atoms
+
+        restored = map_atoms(got, lambda e: e.substitute({"q'": Var("q")}))
+        assert restored == normalize_for_coverage(parse_ctl("AG (p -> AX q)"))

@@ -1,0 +1,121 @@
+"""Property-based tests for the RTL arithmetic builders against integers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EvaluationError
+from repro.expr import evaluate, int_to_bits, parse_expr, word_value
+from repro.expr.arith import (
+    add_const_bits,
+    add_words_bits,
+    conditional_delta_bits,
+    const_bits,
+    decrement_bits,
+    increment_bits,
+    increment_mod_bits,
+    mux,
+)
+from repro.expr.ast import Const, Var
+
+WIDTH = 4
+BITS = [f"b{i}" for i in range(WIDTH)]
+
+
+def env_for(value, extra=None):
+    env = {name: bit for name, bit in zip(BITS, int_to_bits(value, WIDTH))}
+    if extra:
+        env.update(extra)
+    return env
+
+
+def eval_word(exprs, env):
+    return sum((1 << i) for i, e in enumerate(exprs) if evaluate(e, env))
+
+
+class TestMux:
+    def test_select_true(self):
+        m = mux(Var("s"), Var("a"), Var("b"))
+        assert evaluate(m, {"s": True, "a": True, "b": False}) is True
+        assert evaluate(m, {"s": True, "a": False, "b": True}) is False
+
+    def test_select_false(self):
+        m = mux(Var("s"), Var("a"), Var("b"))
+        assert evaluate(m, {"s": False, "a": True, "b": False}) is False
+        assert evaluate(m, {"s": False, "a": False, "b": True}) is True
+
+
+class TestConstBits:
+    def test_round_trip(self):
+        for value in range(8):
+            exprs = const_bits(value, 3)
+            assert eval_word(exprs, {}) == value
+
+    def test_overflow_rejected(self):
+        with pytest.raises(EvaluationError):
+            const_bits(8, 3)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 15))
+def test_increment_wraps(value):
+    exprs = increment_bits(BITS)
+    assert eval_word(exprs, env_for(value)) == (value + 1) % 16
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 15))
+def test_decrement_wraps(value):
+    exprs = decrement_bits(BITS)
+    assert eval_word(exprs, env_for(value)) == (value - 1) % 16
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 15), st.integers(0, 31))
+def test_add_const(value, constant):
+    exprs = add_const_bits(BITS, constant)
+    assert eval_word(exprs, env_for(value)) == (value + constant) % 16
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 15), st.integers(0, 15))
+def test_add_words(a, b):
+    a_bits = [f"a{i}" for i in range(WIDTH)]
+    b_bits = [f"c{i}" for i in range(WIDTH)]
+    env = {n: v for n, v in zip(a_bits, int_to_bits(a, WIDTH))}
+    env.update({n: v for n, v in zip(b_bits, int_to_bits(b, WIDTH))})
+    exprs = add_words_bits(a_bits, b_bits)
+    assert len(exprs) == WIDTH + 1  # no overflow
+    assert eval_word(exprs, env) == a + b
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 15), st.booleans(), st.booleans())
+def test_conditional_delta(value, inc, dec):
+    exprs = conditional_delta_bits(
+        BITS, Const(inc), Const(dec)
+    )
+    expected = value
+    if inc and not dec:
+        expected = (value + 1) % 16
+    elif dec and not inc:
+        expected = (value - 1) % 16
+    assert eval_word(exprs, env_for(value)) == expected
+
+
+class TestIncrementMod:
+    @pytest.mark.parametrize("modulus", [2, 3, 5, 8])
+    def test_all_values(self, modulus):
+        import math
+
+        width = max(1, math.ceil(math.log2(modulus)))
+        bits = [f"m{i}" for i in range(width)]
+        exprs = increment_mod_bits(bits, modulus)
+        for value in range(modulus):
+            env = {n: v for n, v in zip(bits, int_to_bits(value, width))}
+            assert eval_word(exprs, env) == (value + 1) % modulus
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            increment_mod_bits(["x"], 3)
+        with pytest.raises(ValueError):
+            increment_mod_bits(["x", "y"], 1)

@@ -1,0 +1,163 @@
+"""Tests for bit-vector lowering against integer semantics."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EvaluationError
+from repro.expr import (
+    evaluate,
+    int_to_bits,
+    parse_expr,
+    resolve_words,
+    word_value,
+)
+
+WORDS = {"w": ["w0", "w1", "w2"]}
+BITS = WORDS["w"]
+
+
+def env_for(value, extra=None):
+    bits = int_to_bits(value, 3)
+    env = {name: bit for name, bit in zip(BITS, bits)}
+    if extra:
+        env.update(extra)
+    return env
+
+
+class TestIntToBits:
+    def test_lsb_first(self):
+        assert int_to_bits(5, 3) == [True, False, True]
+
+    def test_zero(self):
+        assert int_to_bits(0, 2) == [False, False]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(EvaluationError):
+            int_to_bits(8, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EvaluationError):
+            int_to_bits(-1, 3)
+
+    def test_word_value_round_trip(self):
+        for value in range(8):
+            assert word_value(BITS, env_for(value)) == value
+
+
+class TestConstComparisons:
+    @pytest.mark.parametrize("op", ["==", "!=", "<", "<=", ">", ">="])
+    @pytest.mark.parametrize("const", [0, 1, 3, 5, 7])
+    def test_lowering_matches_integers(self, op, const):
+        lowered = resolve_words(parse_expr(f"w {op} {const}"), WORDS)
+        python_op = {
+            "==": lambda a, b: a == b,
+            "!=": lambda a, b: a != b,
+            "<": lambda a, b: a < b,
+            "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b,
+            ">=": lambda a, b: a >= b,
+        }[op]
+        for value in range(8):
+            assert evaluate(lowered, env_for(value)) == python_op(value, const), (
+                f"w={value} {op} {const}"
+            )
+
+    def test_out_of_range_eq_is_false(self):
+        lowered = resolve_words(parse_expr("w = 9"), WORDS)
+        for value in range(8):
+            assert evaluate(lowered, env_for(value)) is False
+
+    def test_lt_zero_is_false(self):
+        lowered = resolve_words(parse_expr("w < 0"), WORDS)
+        for value in range(8):
+            assert evaluate(lowered, env_for(value)) is False
+
+    def test_ge_zero_is_true(self):
+        lowered = resolve_words(parse_expr("w >= 0"), WORDS)
+        for value in range(8):
+            assert evaluate(lowered, env_for(value)) is True
+
+
+class TestWordWordComparisons:
+    WORDS2 = {"x": ["x0", "x1"], "y": ["y0", "y1"]}
+
+    def env(self, xv, yv):
+        env = {f"x{i}": b for i, b in enumerate(int_to_bits(xv, 2))}
+        env.update({f"y{i}": b for i, b in enumerate(int_to_bits(yv, 2))})
+        return env
+
+    @pytest.mark.parametrize("op", ["==", "!=", "<", "<=", ">", ">="])
+    def test_all_pairs(self, op):
+        lowered = resolve_words(parse_expr(f"x {op} y"), self.WORDS2)
+        python_op = {
+            "==": lambda a, b: a == b,
+            "!=": lambda a, b: a != b,
+            "<": lambda a, b: a < b,
+            "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b,
+            ">=": lambda a, b: a >= b,
+        }[op]
+        for xv, yv in itertools.product(range(4), range(4)):
+            assert evaluate(lowered, self.env(xv, yv)) == python_op(xv, yv)
+
+    def test_mixed_width(self):
+        words = {"x": ["x0", "x1", "x2"], "y": ["y0"]}
+        lowered = resolve_words(parse_expr("x == y"), words)
+        env = {f"x{i}": b for i, b in enumerate(int_to_bits(1, 3))}
+        env["y0"] = True
+        assert evaluate(lowered, env) is True
+        env["x1"] = True  # x = 3 now
+        assert evaluate(lowered, env) is False
+
+
+class TestSingleBitComparison:
+    def test_bool_signal_as_width_one_word(self):
+        lowered = resolve_words(parse_expr("flag = 1"), {})
+        assert evaluate(lowered, {"flag": True}) is True
+        assert evaluate(lowered, {"flag": False}) is False
+
+    def test_unknown_name_with_strict_bools_rejected(self):
+        with pytest.raises(EvaluationError):
+            resolve_words(parse_expr("ghost = 1"), {}, frozenset({"real"}))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(0, 15),
+    st.integers(0, 20),
+    st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+)
+def test_property_const_comparison(value, const, op):
+    words = {"v": ["v0", "v1", "v2", "v3"]}
+    lowered = resolve_words(parse_expr(f"v {op} {const}"), words)
+    env = {f"v{i}": b for i, b in enumerate(int_to_bits(value, 4))}
+    python_op = {
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }[op]
+    assert evaluate(lowered, env) == python_op(value, const)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(0, 15), st.integers(0, 15),
+       st.sampled_from(["==", "!=", "<", "<=", ">", ">="]))
+def test_property_word_word_comparison(xv, yv, op):
+    words = {"x": ["x0", "x1", "x2", "x3"], "y": ["y0", "y1", "y2", "y3"]}
+    lowered = resolve_words(parse_expr(f"x {op} y"), words)
+    env = {f"x{i}": b for i, b in enumerate(int_to_bits(xv, 4))}
+    env.update({f"y{i}": b for i, b in enumerate(int_to_bits(yv, 4))})
+    python_op = {
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }[op]
+    assert evaluate(lowered, env) == python_op(xv, yv)

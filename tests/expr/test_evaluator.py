@@ -1,0 +1,56 @@
+"""Tests for concrete expression evaluation."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.expr import evaluate, parse_expr
+
+
+ENV = {"a": True, "b": False, "c": True}
+
+
+class TestBasicEvaluation:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("true", True),
+            ("false", False),
+            ("a", True),
+            ("b", False),
+            ("!a", False),
+            ("a & b", False),
+            ("a & c", True),
+            ("a | b", True),
+            ("b | b", False),
+            ("a ^ c", False),
+            ("a ^ b", True),
+            ("a -> b", False),
+            ("b -> a", True),
+            ("a <-> c", True),
+            ("a <-> b", False),
+        ],
+    )
+    def test_cases(self, text, expected):
+        assert evaluate(parse_expr(text), ENV) is expected
+
+    def test_missing_signal_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(parse_expr("ghost"), ENV)
+
+    def test_word_comparison_with_words(self):
+        env = {"w0": True, "w1": False}
+        assert evaluate(parse_expr("w = 1"), env, {"w": ["w0", "w1"]}) is True
+        assert evaluate(parse_expr("w = 2"), env, {"w": ["w0", "w1"]}) is False
+
+    def test_word_comparison_word_vs_bool(self):
+        env = {"w0": True, "w1": True, "flag": True}
+        words = {"w": ["w0", "w1"]}
+        assert evaluate(parse_expr("w > flag"), env, words) is True
+
+    def test_word_missing_bits(self):
+        with pytest.raises(EvaluationError):
+            evaluate(parse_expr("w = 1"), {"w0": True}, {"w": ["w0", "w1"]})
+
+    def test_unknown_word(self):
+        with pytest.raises(EvaluationError):
+            evaluate(parse_expr("nope = 1"), {"a": True})

@@ -1,0 +1,148 @@
+"""Tests for the propositional expression parser and printer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.expr import (
+    And,
+    Const,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    WordCmp,
+    Xor,
+    expr_to_str,
+    parse_expr,
+)
+
+
+class TestAtoms:
+    def test_variable(self):
+        assert parse_expr("stall") == Var("stall")
+
+    def test_constants_case_insensitive(self):
+        assert parse_expr("true") == Const(True)
+        assert parse_expr("FALSE") == Const(False)
+        assert parse_expr("True") == Const(True)
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert parse_expr("wr_ptr0") == Var("wr_ptr0")
+
+    def test_identifier_with_prime(self):
+        assert parse_expr("q'") == Var("q'")
+
+
+class TestComparisons:
+    def test_eq_const(self):
+        assert parse_expr("count = 3") == WordCmp("==", "count", 3)
+
+    def test_double_eq(self):
+        assert parse_expr("count == 3") == WordCmp("==", "count", 3)
+
+    def test_neq(self):
+        assert parse_expr("count != 0") == WordCmp("!=", "count", 0)
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">="])
+    def test_orderings(self, op):
+        assert parse_expr(f"count {op} 5") == WordCmp(op, "count", 5)
+
+    def test_word_vs_word(self):
+        assert parse_expr("rd = wr") == WordCmp("==", "rd", "wr")
+
+    def test_hex_and_binary_literals(self):
+        assert parse_expr("count = 0x1f") == WordCmp("==", "count", 31)
+        assert parse_expr("count = 0b101") == WordCmp("==", "count", 5)
+
+    def test_comparison_missing_rhs(self):
+        with pytest.raises(ParseError):
+            parse_expr("count = &")
+
+
+class TestConnectives:
+    def test_precedence_and_over_or(self):
+        expr = parse_expr("a | b & c")
+        assert expr == Or((Var("a"), And((Var("b"), Var("c")))))
+
+    def test_not_binds_tightest(self):
+        assert parse_expr("!a & b") == And((Not(Var("a")), Var("b")))
+
+    def test_implies_right_associative(self):
+        expr = parse_expr("a -> b -> c")
+        assert expr == Implies(Var("a"), Implies(Var("b"), Var("c")))
+
+    def test_iff_lowest(self):
+        expr = parse_expr("a <-> b -> c")
+        assert expr == Iff(Var("a"), Implies(Var("b"), Var("c")))
+
+    def test_xor(self):
+        assert parse_expr("a ^ b") == Xor(Var("a"), Var("b"))
+
+    def test_keyword_operators(self):
+        assert parse_expr("a and b or not c") == parse_expr("a & b | !c")
+
+    def test_nary_flattening(self):
+        expr = parse_expr("a & b & c")
+        assert isinstance(expr, And)
+        assert len(expr.args) == 3
+
+    def test_parentheses(self):
+        expr = parse_expr("(a | b) & c")
+        assert expr == And((Or((Var("a"), Var("b"))), Var("c")))
+
+
+class TestErrors:
+    def test_illegal_character(self):
+        with pytest.raises(ParseError) as exc:
+            parse_expr("a @ b")
+        assert exc.value.position == 2
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expr("a b")
+
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse_expr("")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_expr("(a & b")
+
+
+class TestPrinterRoundTrip:
+    CASES = [
+        "a",
+        "!a",
+        "a & b",
+        "a | b & c",
+        "(a | b) & c",
+        "a -> b -> c",
+        "a <-> b",
+        "a ^ b",
+        "count = 3",
+        "count < 5 & !stall",
+        "!(a | b)",
+        "true",
+        "false",
+        "a & !b | c & d",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip(self, text):
+        parsed = parse_expr(text)
+        assert parse_expr(expr_to_str(parsed)) == parsed
+
+    def test_operator_sugar_matches_parser(self):
+        built = (~Var("stall") & ~Var("reset")).implies(Var("ready"))
+        assert built == parse_expr("!stall & !reset -> ready")
+
+    def test_atoms_collected(self):
+        expr = parse_expr("a & count < 5 | rd = wr")
+        assert expr.atoms() == frozenset({"a", "count", "rd", "wr"})
+
+    def test_substitute(self):
+        expr = parse_expr("a & b")
+        replaced = expr.substitute({"a": Var("x")})
+        assert replaced == parse_expr("x & b")

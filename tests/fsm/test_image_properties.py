@@ -1,0 +1,96 @@
+"""Property-based structural invariants of the symbolic image operators."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fsm import ExplicitGraph
+
+LABELS = ["p", "q"]
+
+
+@st.composite
+def graphs(draw, max_states=5):
+    n = draw(st.integers(2, max_states))
+    succs = [
+        draw(st.lists(st.integers(0, n - 1), min_size=1, max_size=3))
+        for _ in range(n)
+    ]
+    labels = [draw(st.sets(st.sampled_from(LABELS))) for _ in range(n)]
+    g = ExplicitGraph("random", signals=LABELS)
+    for i in range(n):
+        g.state(f"s{i}", labels=labels[i], initial=(i == 0))
+    for i, outs in enumerate(succs):
+        for j in set(outs):
+            g.edge(f"s{i}", f"s{j}")
+    return g
+
+
+@st.composite
+def graph_and_subsets(draw):
+    g = draw(graphs())
+    n = len(g._names)
+    x = draw(st.sets(st.integers(0, n - 1)))
+    y = draw(st.sets(st.integers(0, n - 1)))
+    return g, x, y
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph_and_subsets())
+def test_image_preimage_galois_connection(data):
+    """image(X) intersects Y  iff  X intersects preimage(Y)."""
+    g, x_idx, y_idx = data
+    fsm = g.to_fsm()
+    x = g.states_to_set(fsm, [g._names[i] for i in x_idx])
+    y = g.states_to_set(fsm, [g._names[i] for i in y_idx])
+    assert fsm.image(x).intersects(y) == x.intersects(fsm.preimage(y))
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_and_subsets())
+def test_image_matches_explicit_adjacency(data):
+    g, x_idx, _ = data
+    model = g.to_model()
+    fsm = g.to_fsm()
+    x = g.states_to_set(fsm, [g._names[i] for i in x_idx])
+    symbolic = g.set_to_states(fsm, fsm.image(x))
+    explicit = {
+        g._names[j] for i in x_idx for j in model.successors[i]
+    }
+    assert symbolic == explicit
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_and_subsets())
+def test_preimage_matches_explicit_adjacency(data):
+    g, x_idx, _ = data
+    model = g.to_model()
+    fsm = g.to_fsm()
+    x = g.states_to_set(fsm, [g._names[i] for i in x_idx])
+    symbolic = g.set_to_states(fsm, fsm.preimage(x))
+    explicit = {
+        g._names[j] for i in x_idx for j in model.predecessors[i]
+    }
+    assert symbolic == explicit
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_reachable_from_init_matches_explicit_bfs(g):
+    from repro.coverage import reachable_indices
+
+    model = g.to_model()
+    fsm = g.to_fsm()
+    symbolic = g.set_to_states(fsm, fsm.reachable())
+    explicit = {model.state_names[i] for i in reachable_indices(model)}
+    assert symbolic == explicit
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_and_subsets())
+def test_reachable_from_is_reflexive_transitive(data):
+    g, x_idx, _ = data
+    fsm = g.to_fsm()
+    x = g.states_to_set(fsm, [g._names[i] for i in x_idx])
+    reach = fsm.reachable_from(x)
+    # Reflexive: includes the start set; transitive: closed under image.
+    assert x.subseteq(reach)
+    assert fsm.image(reach).subseteq(reach)

@@ -1,0 +1,110 @@
+"""Property-based cross-validation: symbolic checker vs explicit oracle.
+
+Random small Kripke structures and random CTL formulas; the two independent
+implementations must agree on the satisfaction set and on fairness handling.
+This is the backbone guarantee that the symbolic engine computes real CTL
+semantics.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ctl.ast import (
+    AF,
+    AG,
+    AU,
+    AX,
+    Atom,
+    CtlAnd,
+    CtlNot,
+    CtlOr,
+    EF,
+    EG,
+    EU,
+    EX,
+)
+from repro.expr import Var, parse_expr
+from repro.fsm import ExplicitGraph
+from repro.mc import ExplicitModelChecker, ModelChecker
+
+LABELS = ["p", "q"]
+
+
+@st.composite
+def graphs(draw, max_states=5):
+    n = draw(st.integers(2, max_states))
+    # Each state: a non-empty successor list and a label subset.
+    succs = [
+        draw(st.lists(st.integers(0, n - 1), min_size=1, max_size=3))
+        for _ in range(n)
+    ]
+    labels = [draw(st.sets(st.sampled_from(LABELS))) for _ in range(n)]
+    initial = draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=2))
+    g = ExplicitGraph("random", signals=LABELS)
+    for i in range(n):
+        g.state(f"s{i}", labels=labels[i], initial=(i in initial))
+    for i, outs in enumerate(succs):
+        for j in set(outs):
+            g.edge(f"s{i}", f"s{j}")
+    return g
+
+
+def formulas(depth):
+    leaf = st.sampled_from(
+        [Atom(Var("p")), Atom(Var("q")), Atom(parse_expr("p & !q"))]
+    )
+    if depth == 0:
+        return leaf
+    sub = formulas(depth - 1)
+    return st.one_of(
+        leaf,
+        sub.map(CtlNot),
+        sub.map(AX),
+        sub.map(AG),
+        sub.map(AF),
+        sub.map(EX),
+        sub.map(EG),
+        sub.map(EF),
+        st.tuples(sub, sub).map(lambda t: CtlAnd(t)),
+        st.tuples(sub, sub).map(lambda t: CtlOr(t)),
+        st.tuples(sub, sub).map(lambda t: AU(*t)),
+        st.tuples(sub, sub).map(lambda t: EU(*t)),
+    )
+
+
+FORMULA = formulas(3)
+
+
+@settings(max_examples=120, deadline=None)
+@given(graphs(), FORMULA)
+def test_symbolic_matches_explicit(graph, formula):
+    model = graph.to_model()
+    fsm = graph.to_fsm()
+    explicit = ExplicitModelChecker(model).sat(formula)
+    explicit_names = {model.state_names[i] for i in explicit}
+    symbolic = ModelChecker(fsm).sat(formula)
+    symbolic_names = graph.set_to_states(fsm, symbolic)
+    assert symbolic_names == explicit_names, f"disagree on {formula}"
+
+
+@settings(max_examples=80, deadline=None)
+@given(graphs(), FORMULA, st.sampled_from(["p", "q"]))
+def test_symbolic_matches_explicit_under_fairness(graph, formula, fair_label):
+    model = graph.to_model()
+    fsm = graph.to_fsm()
+    fair_expr = parse_expr(fair_label)
+    fsm.fairness = [fsm.signal(fair_label)]
+    explicit = ExplicitModelChecker(model, fairness=[fair_expr]).sat(formula)
+    explicit_names = {model.state_names[i] for i in explicit}
+    symbolic = ModelChecker(fsm).sat(formula)
+    symbolic_names = graph.set_to_states(fsm, symbolic)
+    assert symbolic_names == explicit_names, f"fairness disagree on {formula}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), FORMULA)
+def test_holds_agrees(graph, formula):
+    model = graph.to_model()
+    fsm = graph.to_fsm()
+    assert ModelChecker(fsm).holds(formula) == ExplicitModelChecker(model).holds(
+        formula
+    )

@@ -1,0 +1,49 @@
+"""Public API surface tests: the top-level namespace is complete and lazy."""
+
+import pytest
+
+import repro
+
+
+def test_version_available():
+    assert repro.__version__
+
+
+def test_every_public_name_resolves():
+    from repro import _api
+
+    for name in _api.__all__:
+        assert getattr(repro, name) is getattr(_api, name)
+
+
+def test_dir_lists_public_names():
+    names = dir(repro)
+    for expected in ("CoverageEstimator", "ModelChecker", "BDDManager",
+                     "parse_ctl", "build_counter"):
+        assert expected in names
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.not_a_real_symbol
+
+
+def test_private_attribute_access_raises():
+    with pytest.raises(AttributeError):
+        repro._not_exported
+
+
+def test_error_hierarchy_rooted():
+    from repro import (BDDError, CoverageError, EvaluationError, ModelError,
+                       NotInSubsetError, ParseError, ReproError,
+                       VerificationError)
+
+    for exc in (BDDError, ParseError, EvaluationError, ModelError,
+                NotInSubsetError, VerificationError, CoverageError):
+        assert issubclass(exc, ReproError)
+
+
+def test_console_script_entry_point():
+    from repro.cli import main
+
+    assert callable(main)

@@ -1,0 +1,78 @@
+"""Tests for the repro-coverage command-line interface."""
+
+import pytest
+
+from repro.cli import TARGETS, build_parser, main
+
+
+class TestParser:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for target in TARGETS:
+            assert target in out
+
+    def test_no_target_lists(self, capsys):
+        assert main([]) == 0
+        assert "available targets" in capsys.readouterr().out
+
+    def test_unknown_target(self, capsys):
+        assert main(["nonsense"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+
+class TestCoverageRuns:
+    def test_counter_full(self, capsys):
+        assert main(["counter"]) == 0
+        out = capsys.readouterr().out
+        assert "100.00%" in out
+
+    def test_counter_partial_shows_holes(self, capsys):
+        assert main(["counter", "--stage", "partial"]) == 0
+        out = capsys.readouterr().out
+        assert "uncovered" in out
+
+    def test_queue_wrap_stages(self, capsys):
+        assert main(["queue-wrap", "--stage", "initial"]) == 0
+        initial_out = capsys.readouterr().out
+        assert main(["queue-wrap", "--stage", "final"]) == 0
+        final_out = capsys.readouterr().out
+        assert "100.00%" in final_out
+        assert "100.00%" not in initial_out
+
+    def test_traces_flag(self, capsys):
+        assert main(["queue-wrap", "--stage", "initial", "--traces", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "trace to uncovered state #1" in out
+
+    def test_pipeline_uses_dont_care(self, capsys):
+        assert main(["pipeline", "--stage", "augmented"]) == 0
+        assert "100.00%" in capsys.readouterr().out
+
+    def test_buffer_lo_buggy_passes_initial_suite(self, capsys):
+        assert main(["buffer-lo", "--buggy"]) == 0
+        out = capsys.readouterr().out
+        assert "uncovered" in out
+
+    def test_buffer_lo_augmented_on_buggy_fails_verification(self, capsys):
+        # The augmented suite contains the hole-closing property, which
+        # fails on the buggy design: the CLI must report the failure and a
+        # counterexample rather than a coverage number.
+        assert main(["buffer-lo", "--buggy", "--stage", "augmented"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "cycle 0" in out
+
+    def test_buffer_lo_augmented_on_fixed_is_full(self, capsys):
+        assert main(["buffer-lo", "--stage", "augmented"]) == 0
+        assert "100.00%" in capsys.readouterr().out
+
+    def test_queue_full_and_empty(self, capsys):
+        assert main(["queue-full"]) == 0
+        assert "100.00%" in capsys.readouterr().out
+        assert main(["queue-empty"]) == 0
+        assert "100.00%" in capsys.readouterr().out
+
+    def test_buffer_hi(self, capsys):
+        assert main(["buffer-hi"]) == 0
+        assert "100.00%" in capsys.readouterr().out

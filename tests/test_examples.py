@@ -1,0 +1,43 @@
+"""Integration tests: every example script must run to completion.
+
+The examples double as executable documentation of the paper's narratives;
+running them in-process (not via subprocess) keeps them cheap and lets
+their internal assertions fire under pytest.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    # At least two domain-specific scenarios beyond the quickstart.
+    assert len(names) >= 3
+
+
+def test_quickstart_reaches_full_coverage(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "100.00% coverage" in out
+
+
+def test_bug_hunt_finds_the_bug(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "escaped_bug_hunt.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    assert "counterexample" in out
+    assert "100.00%" in out
