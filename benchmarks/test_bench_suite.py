@@ -1,0 +1,52 @@
+"""Benchmark: the parallel suite runner vs serial execution.
+
+Not a figure from the paper — this measures the PR's suite subsystem: the
+full registered job list (every builtin target at every stage plus the
+shipped .rml models) executed serially in-process and fanned out over a
+process pool.  The asserted property is correctness (identical per-job
+percentages either way); the emitted block shows the wall-clock shape so
+regressions in job cost or pool overhead are visible in the output.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.suite import default_jobs, run_jobs
+
+from .conftest import emit
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_bench_suite_parallel_matches_serial():
+    jobs = default_jobs(rml_dir=EXAMPLES_DIR)
+
+    t0 = time.perf_counter()
+    serial = run_jobs(jobs, max_workers=1)
+    serial_seconds = time.perf_counter() - t0
+
+    workers = min(4, os.cpu_count() or 1)
+    t0 = time.perf_counter()
+    parallel = run_jobs(jobs, max_workers=workers)
+    parallel_seconds = time.perf_counter() - t0
+
+    lines = [
+        f"{len(jobs)} jobs; serial {serial_seconds:.2f}s, "
+        f"parallel({workers}) {parallel_seconds:.2f}s",
+    ]
+    for s in serial:
+        pct = f"{s.percentage:.2f}%" if s.percentage is not None else s.status
+        lines.append(f"{s.name:24s} {pct}")
+    emit("suite runner: serial vs parallel", lines)
+
+    assert all(r.status == "ok" for r in serial), [
+        (r.name, r.status, r.error) for r in serial if r.status != "ok"
+    ]
+    for s, p in zip(serial, parallel):
+        assert (s.name, s.status, s.percentage) == (p.name, p.status, p.percentage)
+        assert (s.covered_states, s.space_states) == (
+            p.covered_states, p.space_states,
+        )

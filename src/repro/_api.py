@@ -61,6 +61,14 @@ from .errors import (
 )
 from .expr import Expr, evaluate, expr_to_str, parse_expr
 from .fsm import FSM, CircuitBuilder, ExplicitGraph, ExplicitModel, enumerate_model
+from .lang import (
+    ElaboratedModel,
+    Module,
+    elaborate,
+    load_module,
+    module_to_str,
+    parse_module,
+)
 from .mc import (
     CheckResult,
     ExplicitModelChecker,
@@ -69,6 +77,21 @@ from .mc import (
     WorkStats,
     format_trace,
     input_sequence,
+)
+from .suite import (
+    BUILTIN_TARGETS,
+    BuiltinTarget,
+    CoverageJob,
+    JobResult,
+    build_builtin,
+    builtin_jobs,
+    default_jobs,
+    discover_rml,
+    execute_job,
+    rml_job,
+    run_jobs,
+    suite_report,
+    write_report,
 )
 
 __all__ = [
@@ -102,6 +125,13 @@ __all__ = [
     "HOLD_CYCLES",
     "figure1_graph", "figure2_graph", "figure3_graph",
     "FIGURE1_FORMULA", "FIGURE2_FORMULA", "FIGURE3_FORMULA",
+    # lang
+    "Module", "ElaboratedModel", "parse_module", "load_module",
+    "elaborate", "module_to_str",
+    # suite
+    "CoverageJob", "JobResult", "BuiltinTarget", "BUILTIN_TARGETS",
+    "build_builtin", "builtin_jobs", "default_jobs", "discover_rml",
+    "rml_job", "execute_job", "run_jobs", "suite_report", "write_report",
     # errors
     "ReproError", "BDDError", "ParseError", "EvaluationError", "ModelError",
     "NotInSubsetError", "VerificationError", "CoverageError",

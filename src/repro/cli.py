@@ -1,107 +1,67 @@
-"""Command-line interface: run coverage estimation on the built-in circuits.
+"""Command-line interface: coverage estimation for circuits and suites.
 
-Examples::
+Target mode (the original interface, now registry-backed)::
 
     repro-coverage --list
     repro-coverage queue-wrap --stage initial
     repro-coverage buffer-lo --buggy --traces 2
     repro-coverage pipeline --stage augmented
-    repro-coverage counter --stage partial
+
+Model files (the ``.rml`` language of :mod:`repro.lang`)::
+
+    repro-coverage run examples/counter.rml
+    repro-coverage run examples/arbiter.rml --traces 2
+
+Suites (every registered job — builtin targets at every stage plus
+``.rml`` files discovered on disk — optionally in parallel)::
+
+    repro-coverage suite --jobs 4
+    repro-coverage suite examples --jobs 4 --json coverage.json
+
+Exit codes: 0 success, 1 verification/coverage failure, 2 usage error
+(unknown target, invalid stage, parse error).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .circuits import (
-    build_circular_queue,
-    build_counter,
-    build_pipeline,
-    build_priority_buffer,
-    circular_queue_empty_properties,
-    circular_queue_full_properties,
-    circular_queue_wrap_properties,
-    circular_queue_wrap_stall_property,
-    counter_partial_properties,
-    counter_properties,
-    pipeline_augmented_properties,
-    pipeline_output_properties,
-    priority_buffer_hi_properties,
-    priority_buffer_lo_augmented_properties,
-    priority_buffer_lo_properties,
-)
 from .coverage import CoverageEstimator, format_uncovered_traces
-from .errors import ReproError
+from .errors import ParseError, ReproError
+from .lang import elaborate, load_module
 from .mc import ModelChecker
+from .suite import (
+    BUILTIN_TARGETS,
+    build_builtin,
+    default_jobs,
+    format_results,
+    run_jobs,
+    write_report,
+)
 
 __all__ = ["main", "TARGETS"]
 
 
-def _counter(args) -> Tuple:
-    fsm = build_counter()
-    if args.stage == "partial":
-        props = counter_partial_properties()
-    else:
-        props = counter_properties()
-    return fsm, props, "count", None
+def _legacy_builder(name: str) -> Callable:
+    def build(args):
+        return build_builtin(name, stage=args.stage, buggy=args.buggy)
+
+    return build
 
 
-def _buffer_hi(args) -> Tuple:
-    fsm = build_priority_buffer(buggy=args.buggy)
-    return fsm, priority_buffer_hi_properties(), "hi", None
-
-
-def _buffer_lo(args) -> Tuple:
-    fsm = build_priority_buffer(buggy=args.buggy)
-    if args.stage == "augmented":
-        props = priority_buffer_lo_augmented_properties()
-    else:
-        props = priority_buffer_lo_properties()
-    return fsm, props, "lo", None
-
-
-def _queue_wrap(args) -> Tuple:
-    fsm = build_circular_queue()
-    stage = args.stage or "initial"
-    if stage == "final":
-        props = circular_queue_wrap_properties(stage="extended")
-        props.append(circular_queue_wrap_stall_property())
-    else:
-        props = circular_queue_wrap_properties(stage=stage)
-    return fsm, props, "wrap", None
-
-
-def _queue_full(args) -> Tuple:
-    return build_circular_queue(), circular_queue_full_properties(), "full", None
-
-
-def _queue_empty(args) -> Tuple:
-    return build_circular_queue(), circular_queue_empty_properties(), "empty", None
-
-
-def _pipeline(args) -> Tuple:
-    fsm = build_pipeline()
-    if args.stage == "augmented":
-        props = pipeline_augmented_properties()
-    else:
-        props = pipeline_output_properties()
-    return fsm, props, "output", "!out_valid"
-
-
-#: target name -> (builder, valid stages, description)
+#: target name -> (builder, valid stages, description) — kept in the shape
+#: the original CLI exposed, now derived from the suite registry.
 TARGETS: Dict[str, Tuple[Callable, List[str], str]] = {
-    "counter": (_counter, ["full", "partial"], "mod-5 counter (paper Section 1)"),
-    "buffer-hi": (_buffer_hi, [], "priority buffer, hi-pri count (Circuit 1)"),
-    "buffer-lo": (_buffer_lo, ["initial", "augmented"],
-                  "priority buffer, lo-pri count (Circuit 1)"),
-    "queue-wrap": (_queue_wrap, ["initial", "extended", "final"],
-                   "circular queue, wrap bit (Circuit 2)"),
-    "queue-full": (_queue_full, [], "circular queue, full signal (Circuit 2)"),
-    "queue-empty": (_queue_empty, [], "circular queue, empty signal (Circuit 2)"),
-    "pipeline": (_pipeline, ["initial", "augmented"],
-                 "decode pipeline, output (Circuit 3)"),
+    target.name: (
+        _legacy_builder(target.name),
+        list(target.stages),
+        target.description,
+    )
+    for target in BUILTIN_TARGETS.values()
 }
 
 
@@ -127,39 +87,178 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-coverage run",
+        description="estimate coverage for one .rml model file",
+    )
+    parser.add_argument("file", help="path to a .rml model file")
+    parser.add_argument(
+        "--traces", type=int, default=0, metavar="N",
+        help="print traces to up to N uncovered states",
+    )
+    return parser
+
+
+def _build_suite_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-coverage suite",
+        description=(
+            "run every registered coverage job: builtin targets at every "
+            "stage, plus .rml files discovered on disk"
+        ),
+    )
+    parser.add_argument(
+        "directory", nargs="?",
+        help=".rml directory (default: ./examples when present)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1: run serially in-process)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", help="write the JSON report to FILE"
+    )
+    parser.add_argument(
+        "--no-builtins", action="store_true",
+        help="run only discovered .rml jobs",
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Shared verification + estimation flow
+# ----------------------------------------------------------------------
+
+
+def _verify_and_report(fsm, props, observed, dont_care, traces: int) -> int:
+    checker = ModelChecker(fsm)
+    failing = [p for p in props if not checker.holds(p)]
+    if failing:
+        print(f"{len(failing)} propert(ies) FAIL on {fsm.name!r}:")
+        for prop in failing:
+            print(f"  {prop}")
+            result = checker.check(prop)
+            if result.counterexample:
+                for k, state in enumerate(result.counterexample):
+                    print(f"    cycle {k}: {fsm.format_state(state)}")
+        print("coverage is only defined for verified properties; aborting.")
+        return 1
+    estimator = CoverageEstimator(fsm, checker=checker)
+    report = estimator.estimate(props, observed=observed, dont_care=dont_care)
+    print(report.summary())
+    if traces > 0:
+        print(format_uncovered_traces(report, count=traces))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def _parse_error_message(exc: ParseError) -> str:
+    # Module errors already carry a file:line:column prefix.
+    return str(exc)
+
+
+def _main_run(argv: List[str]) -> int:
+    args = _build_run_parser().parse_args(argv)
+    try:
+        model = elaborate(load_module(args.file))
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    except ParseError as exc:
+        print(f"error: {_parse_error_message(exc)}", file=sys.stderr)
+        return 2
+    if not model.observed:
+        print(
+            f"error: {args.file}: module {model.module.name!r} declares no "
+            f"OBSERVED signals (add e.g. 'OBSERVED <signal>;')",
+            file=sys.stderr,
+        )
+        return 2
+    if not model.specs:
+        print(
+            f"error: {args.file}: module {model.module.name!r} declares no "
+            f"SPEC properties",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        return _verify_and_report(
+            model.fsm, model.specs, model.observed, model.dont_care,
+            args.traces,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _main_suite(argv: List[str]) -> int:
+    args = _build_suite_parser().parse_args(argv)
+    directory = args.directory
+    if directory is None and Path("examples").is_dir():
+        directory = "examples"
+    if directory is not None and not Path(directory).is_dir():
+        print(f"error: no such directory: {directory}", file=sys.stderr)
+        return 2
+    jobs = default_jobs(
+        rml_dir=directory, include_builtins=not args.no_builtins
+    )
+    if not jobs:
+        print("error: no jobs registered", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    results = run_jobs(jobs, max_workers=max(1, args.jobs))
+    elapsed = time.perf_counter() - started
+    print(format_results(results, seconds=elapsed))
+    if args.json:
+        write_report(results, args.json, seconds=elapsed)
+        print(f"wrote JSON report to {args.json}")
+    return 0 if all(r.status == "ok" for r in results) else 1
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "run":
+        return _main_run(argv[1:])
+    if argv and argv[0] == "suite":
+        return _main_suite(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.target:
         print("available targets:")
         for name, (_, stages, description) in TARGETS.items():
             stage_note = f" (stages: {', '.join(stages)})" if stages else ""
             print(f"  {name:12s} {description}{stage_note}")
+        print("subcommands:")
+        print("  run <file.rml>     estimate coverage for a model file")
+        print("  suite [dir]        run every registered job (see --help)")
         return 0
     entry = TARGETS.get(args.target)
     if entry is None:
         print(f"unknown target {args.target!r}; try --list", file=sys.stderr)
         return 2
-    builder, _stages, _desc = entry
+    _builder, stages, _desc = entry
+    if args.stage is not None and args.stage not in stages:
+        valid = ", ".join(stages) if stages else "none (target takes no --stage)"
+        print(
+            f"invalid stage {args.stage!r} for target {args.target!r}; "
+            f"valid stages: {valid}",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        fsm, props, observed, dont_care = builder(args)
-        checker = ModelChecker(fsm)
-        failing = [p for p in props if not checker.holds(p)]
-        if failing:
-            print(f"{len(failing)} propert(ies) FAIL on {fsm.name!r}:")
-            for prop in failing:
-                print(f"  {prop}")
-                result = checker.check(prop)
-                if result.counterexample:
-                    for k, state in enumerate(result.counterexample):
-                        print(f"    cycle {k}: {fsm.format_state(state)}")
-            print("coverage is only defined for verified properties; aborting.")
-            return 1
-        estimator = CoverageEstimator(fsm, checker=checker)
-        report = estimator.estimate(props, observed=observed, dont_care=dont_care)
-        print(report.summary())
-        if args.traces > 0:
-            print(format_uncovered_traces(report, count=args.traces))
-        return 0
+        fsm, props, observed, dont_care = build_builtin(
+            args.target, stage=args.stage, buggy=args.buggy
+        )
+        return _verify_and_report(fsm, props, observed, dont_care, args.traces)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

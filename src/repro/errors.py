@@ -16,7 +16,7 @@ class BDDError(ReproError):
 
 
 class ParseError(ReproError):
-    """Raised when an expression or CTL formula fails to parse.
+    """Raised when an expression, CTL formula, or module fails to parse.
 
     Attributes
     ----------
@@ -24,12 +24,29 @@ class ParseError(ReproError):
         The full input text being parsed.
     position:
         Character offset at which the error was detected.
+    line, column:
+        1-based source location, when the parser tracks lines (the module
+        language of :mod:`repro.lang` does; the one-line expression and CTL
+        parsers leave them ``None``).
+    filename:
+        Source file name, when parsing came from a file.
     """
 
-    def __init__(self, message: str, text: str = "", position: int = 0):
+    def __init__(
+        self,
+        message: str,
+        text: str = "",
+        position: int = 0,
+        line: "int | None" = None,
+        column: "int | None" = None,
+        filename: "str | None" = None,
+    ):
         super().__init__(message)
         self.text = text
         self.position = position
+        self.line = line
+        self.column = column
+        self.filename = filename
 
 
 class EvaluationError(ReproError):

@@ -139,6 +139,26 @@ class CircuitBuilder:
         self._words[name] = list(bits)
 
     # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def declared_signals(self) -> frozenset:
+        """Every name declared so far: inputs, latches, defines, and words.
+
+        Useful for validating externally supplied names (observed signals,
+        don't-cares) against the circuit before :meth:`build` — the module
+        elaborator (:mod:`repro.lang.elaborate`) uses this to turn unknown
+        references into source-located errors instead of late build
+        failures.
+        """
+        return (
+            frozenset(self._inputs)
+            | frozenset(self._latches)
+            | frozenset(self._defines)
+            | frozenset(self._words)
+        )
+
+    # ------------------------------------------------------------------
     # Compilation
     # ------------------------------------------------------------------
 

@@ -1,0 +1,27 @@
+"""``repro.lang`` — the textual model description language (``.rml``).
+
+An SMV-inspired contract that decouples model description from library
+code: circuits, properties, observed signals, fairness, and don't-cares
+all live in one ``.rml`` file, parsed by :func:`parse_module`, lowered onto
+the existing :class:`~repro.fsm.builder.CircuitBuilder` by
+:func:`elaborate`, and round-tripped by :func:`module_to_str`.
+
+    >>> from repro.lang import parse_module, elaborate
+    >>> model = elaborate(parse_module(source))
+    >>> report = CoverageEstimator(model.fsm).estimate(
+    ...     model.specs, observed=model.observed)
+"""
+
+from .ast import Module
+from .elaborate import ElaboratedModel, elaborate
+from .parser import load_module, parse_module
+from .printer import module_to_str
+
+__all__ = [
+    "Module",
+    "ElaboratedModel",
+    "elaborate",
+    "load_module",
+    "parse_module",
+    "module_to_str",
+]

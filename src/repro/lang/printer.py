@@ -1,0 +1,118 @@
+"""Pretty-printer for ``.rml`` modules (round-trips the parser).
+
+``parse_module(module_to_str(m))`` yields a module *equal* to ``m`` — the
+AST nodes exclude source positions from comparison — which the test suite
+asserts for every shipped example.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from ..ctl.printer import ctl_to_str
+from ..expr.ast import Expr
+from ..expr.printer import expr_to_str
+from .ast import (
+    Case,
+    Module,
+    VarDecl,
+    WordConst,
+    WordExpr,
+    WordOffset,
+    WordRef,
+    WordSum,
+)
+
+__all__ = ["module_to_str"]
+
+
+def _type_str(var: VarDecl) -> str:
+    return f"word[{var.width}]" if var.is_word else "boolean"
+
+
+def _word_str(value: WordExpr) -> str:
+    if isinstance(value, WordConst):
+        return str(value.value)
+    if isinstance(value, WordRef):
+        return value.name
+    if isinstance(value, WordOffset):
+        sign = "-" if value.offset < 0 else "+"
+        return f"{value.name} {sign} {abs(value.offset)}"
+    if isinstance(value, WordSum):
+        return f"{value.lhs} + {value.rhs}"
+    raise TypeError(f"unknown word expression {type(value).__name__}")
+
+
+def _value_str(value: Union[Expr, WordExpr]) -> str:
+    if isinstance(value, Expr):
+        return expr_to_str(value)
+    return _word_str(value)
+
+
+def _case_lines(case: Case) -> List[str]:
+    lines = ["case"]
+    for arm in case.arms:
+        condition = expr_to_str(arm.condition)
+        if condition == "true":
+            condition = "TRUE"
+        lines.append(f"    {condition} : {_value_str(arm.value)};")
+    lines.append("  esac")
+    return lines
+
+
+def module_to_str(module: Module) -> str:
+    """Render ``module`` as canonical ``.rml`` source text."""
+    out: List[str] = [f"MODULE {module.name}"]
+
+    if module.vars:
+        out.append("")
+        out.append("VAR")
+        for var in module.vars:
+            out.append(f"  {var.name} : {_type_str(var)};")
+
+    if module.inits or module.nexts:
+        out.append("")
+        out.append("ASSIGN")
+        for init in module.inits:
+            var = module.var(init.target)
+            if var is not None and not var.is_word:
+                rendered = "TRUE" if init.value else "FALSE"
+            else:
+                rendered = str(init.value)
+            out.append(f"  init({init.target}) := {rendered};")
+        for nxt in module.nexts:
+            if isinstance(nxt.value, Case):
+                body = _case_lines(nxt.value)
+                out.append(f"  next({nxt.target}) := {body[0]}")
+                out.extend(body[1:-1])
+                out.append(f"  {body[-1]};")
+            else:
+                out.append(
+                    f"  next({nxt.target}) := {_value_str(nxt.value)};"
+                )
+
+    if module.defines:
+        out.append("")
+        out.append("DEFINE")
+        for define in module.defines:
+            out.append(f"  {define.name} := {_value_str(define.value)};")
+
+    if module.fairness:
+        out.append("")
+        for fairness in module.fairness:
+            out.append(f"FAIRNESS {expr_to_str(fairness.expr)};")
+
+    if module.specs:
+        out.append("")
+        for spec in module.specs:
+            out.append(f"SPEC {ctl_to_str(spec.formula)};")
+
+    if module.observed:
+        out.append("")
+        out.append(f"OBSERVED {', '.join(module.observed)};")
+
+    if module.dont_care is not None:
+        out.append("")
+        out.append(f"DONTCARE {expr_to_str(module.dont_care)};")
+
+    return "\n".join(out) + "\n"

@@ -1,0 +1,49 @@
+"""``repro.suite`` — first-class, parallel suites of coverage jobs.
+
+A :class:`CoverageJob` names a model (builtin target or ``.rml`` file), a
+property stage, and observed signals; the registry
+(:mod:`repro.suite.registry`) merges the built-in circuits with ``.rml``
+files discovered on disk; and the runner (:mod:`repro.suite.runner`) fans
+jobs out across a process pool and collects JSON-ready results.
+
+    >>> from repro.suite import default_jobs, run_jobs, suite_report
+    >>> results = run_jobs(default_jobs("examples"), max_workers=4)
+    >>> report = suite_report(results)
+"""
+
+from .jobs import CoverageJob, JobResult
+from .registry import (
+    BUILTIN_TARGETS,
+    BuiltinTarget,
+    build_builtin,
+    builtin_jobs,
+    default_jobs,
+    discover_rml,
+    rml_job,
+)
+from .runner import (
+    JSON_SCHEMA_ID,
+    execute_job,
+    format_results,
+    run_jobs,
+    suite_report,
+    write_report,
+)
+
+__all__ = [
+    "CoverageJob",
+    "JobResult",
+    "BuiltinTarget",
+    "BUILTIN_TARGETS",
+    "build_builtin",
+    "builtin_jobs",
+    "default_jobs",
+    "discover_rml",
+    "rml_job",
+    "JSON_SCHEMA_ID",
+    "execute_job",
+    "format_results",
+    "run_jobs",
+    "suite_report",
+    "write_report",
+]

@@ -1,0 +1,116 @@
+"""The suite job model: one coverage estimation run per job.
+
+A :class:`CoverageJob` is a *description* of work — model source (a builtin
+target name or ``.rml`` text), property stage, and observed signals — and a
+:class:`JobResult` is its JSON-safe outcome.  Both are plain picklable
+dataclasses so jobs fan out across a ``ProcessPoolExecutor`` (BDD managers
+are per-process state, which makes jobs embarrassingly parallel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["CoverageJob", "JobResult"]
+
+#: Job kinds.
+KIND_BUILTIN = "builtin"
+KIND_RML = "rml"
+
+
+@dataclass(frozen=True)
+class CoverageJob:
+    """One (model, property stage, observed signals) unit of work.
+
+    ``kind`` selects the model source: ``"builtin"`` re-creates a registered
+    circuit (``target`` + ``stage`` + ``buggy``) inside the worker process;
+    ``"rml"`` parses and elaborates ``source`` (with ``path`` as the
+    file name for error messages).  Observed signals and don't-cares come
+    from the target definition or the module text respectively.
+    """
+
+    name: str
+    kind: str
+    target: Optional[str] = None
+    stage: Optional[str] = None
+    buggy: bool = False
+    path: Optional[str] = None
+    source: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.kind == KIND_RML:
+            return self.path or f"<rml:{self.name}>"
+        stage = f" --stage {self.stage}" if self.stage else ""
+        buggy = " --buggy" if self.buggy else ""
+        return f"{self.target}{stage}{buggy}"
+
+
+@dataclass
+class JobResult:
+    """Outcome of one executed job — primitives only, so it survives both
+    pickling back from a worker process and JSON serialisation.
+
+    ``status`` is ``"ok"`` (verified, coverage estimated), ``"fail"``
+    (at least one property failed model checking — coverage undefined), or
+    ``"error"`` (the job raised: parse error, bad observed signal, ...).
+    """
+
+    name: str
+    kind: str
+    status: str
+    model: Optional[str] = None
+    stage: Optional[str] = None
+    path: Optional[str] = None
+    observed: List[str] = field(default_factory=list)
+    properties: int = 0
+    percentage: Optional[float] = None
+    covered_states: Optional[int] = None
+    space_states: Optional[int] = None
+    uncovered_states: Optional[int] = None
+    failing_properties: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+    seconds: float = 0.0
+    nodes_created: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> Dict:
+        """The per-job object of the suite JSON report."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "status": self.status,
+            "model": self.model,
+            "stage": self.stage,
+            "path": self.path,
+            "observed": list(self.observed),
+            "properties": self.properties,
+            "percentage": self.percentage,
+            "covered_states": self.covered_states,
+            "space_states": self.space_states,
+            "uncovered_states": self.uncovered_states,
+            "failing_properties": list(self.failing_properties),
+            "error": self.error,
+            "seconds": round(self.seconds, 6),
+            "nodes_created": self.nodes_created,
+        }
+
+    def format_line(self) -> str:
+        """One human-readable summary line."""
+        if self.status == "ok":
+            detail = (
+                f"{self.percentage:6.2f}%  "
+                f"({self.covered_states}/{self.space_states} states, "
+                f"{self.properties} properties, {self.seconds:.2f}s)"
+            )
+        elif self.status == "fail":
+            detail = (
+                f"FAIL    ({len(self.failing_properties)} of "
+                f"{self.properties} properties fail verification)"
+            )
+        else:
+            detail = f"ERROR   ({self.error})"
+        return f"{self.name:24s} {detail}"

@@ -1,0 +1,204 @@
+"""The suite runner: execute coverage jobs, serially or across processes.
+
+Each job builds its own FSM inside its own BDD manager, so jobs share no
+state and parallelise perfectly across a ``ProcessPoolExecutor`` (one BDD
+manager per process; results come back as plain :class:`JobResult`
+primitives, never BDD handles).  ``max_workers=1`` runs in-process, which
+the tests use to assert that parallel percentages match serial execution
+bit-for-bit.
+
+:func:`suite_report` turns a result list into the machine-readable JSON
+document (schema ``repro-coverage-suite/v1``, documented in the README).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .._version import __version__
+from ..coverage import CoverageEstimator
+from ..errors import ReproError
+from ..lang import elaborate, parse_module
+from ..mc import ModelChecker, WorkMeter
+from .jobs import KIND_BUILTIN, KIND_RML, CoverageJob, JobResult
+from .registry import build_builtin
+
+__all__ = [
+    "execute_job",
+    "run_jobs",
+    "suite_report",
+    "write_report",
+    "format_results",
+    "JSON_SCHEMA_ID",
+]
+
+JSON_SCHEMA_ID = "repro-coverage-suite/v1"
+
+
+def _materialize(job: CoverageJob):
+    """Build ``(fsm, properties, observed, dont_care)`` for a job."""
+    if job.kind == KIND_BUILTIN:
+        if job.target is None:
+            raise ValueError(f"builtin job {job.name!r} has no target")
+        return build_builtin(job.target, stage=job.stage, buggy=job.buggy)
+    if job.kind == KIND_RML:
+        if job.source is None:
+            raise ValueError(f"rml job {job.name!r} has no source")
+        model = elaborate(parse_module(job.source, filename=job.path))
+        if not model.observed:
+            raise ValueError(
+                f"{job.path or job.name}: module {model.module.name!r} "
+                f"declares no OBSERVED signals"
+            )
+        if not model.specs:
+            raise ValueError(
+                f"{job.path or job.name}: module {model.module.name!r} "
+                f"declares no SPEC properties"
+            )
+        return model.fsm, model.specs, model.observed, model.dont_care
+    raise ValueError(f"unknown job kind {job.kind!r}")
+
+
+def execute_job(job: CoverageJob) -> JobResult:
+    """Run one job start-to-finish: build, verify, estimate.
+
+    Never raises: failures are captured in the result's ``status`` so one
+    bad job cannot take down a whole suite (or its worker pool).
+    """
+    started = time.perf_counter()
+    try:
+        fsm, props, observed, dont_care = _materialize(job)
+        observed_list = [observed] if isinstance(observed, str) else list(observed)
+        checker = ModelChecker(fsm)
+        report = None
+        with WorkMeter(fsm.manager) as meter:
+            failing = [p for p in props if not checker.holds(p)]
+            if not failing:
+                estimator = CoverageEstimator(fsm, checker=checker)
+                report = estimator.estimate(
+                    props, observed=observed_list, dont_care=dont_care
+                )
+        if failing:
+            return JobResult(
+                name=job.name,
+                kind=job.kind,
+                status="fail",
+                model=fsm.name,
+                stage=job.stage,
+                path=job.path,
+                observed=observed_list,
+                properties=len(props),
+                failing_properties=[str(p) for p in failing],
+                seconds=time.perf_counter() - started,
+                nodes_created=meter.stats.nodes_created,
+            )
+        return JobResult(
+            name=job.name,
+            kind=job.kind,
+            status="ok",
+            model=fsm.name,
+            stage=job.stage,
+            path=job.path,
+            observed=observed_list,
+            properties=len(report.per_property),
+            percentage=report.percentage,
+            covered_states=report.covered_count,
+            space_states=report.space_count,
+            uncovered_states=report.space_count - report.covered_count,
+            seconds=time.perf_counter() - started,
+            nodes_created=meter.stats.nodes_created,
+        )
+    except (ReproError, ValueError, OSError) as exc:
+        return JobResult(
+            name=job.name,
+            kind=job.kind,
+            status="error",
+            stage=job.stage,
+            path=job.path,
+            error=str(exc),
+            seconds=time.perf_counter() - started,
+        )
+
+
+def run_jobs(
+    jobs: Sequence[CoverageJob], max_workers: int = 1
+) -> List[JobResult]:
+    """Execute ``jobs``, fanning out over ``max_workers`` processes.
+
+    Results come back in job order regardless of completion order.  With
+    ``max_workers <= 1`` (or a single job) everything runs in-process.
+    """
+    jobs = list(jobs)
+    if max_workers <= 1 or len(jobs) <= 1:
+        return [execute_job(job) for job in jobs]
+    workers = min(max_workers, len(jobs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(execute_job, jobs))
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+
+
+def suite_report(
+    results: Sequence[JobResult], seconds: Optional[float] = None
+) -> Dict:
+    """The machine-readable suite report (schema ``repro-coverage-suite/v1``)."""
+    ok = [r for r in results if r.status == "ok"]
+    failed = [r for r in results if r.status == "fail"]
+    errors = [r for r in results if r.status == "error"]
+    percentages = [r.percentage for r in ok if r.percentage is not None]
+    return {
+        "schema": JSON_SCHEMA_ID,
+        "generator": f"repro {__version__}",
+        "jobs": [r.to_json() for r in results],
+        "totals": {
+            "jobs": len(results),
+            "ok": len(ok),
+            "failed": len(failed),
+            "errors": len(errors),
+            "full_coverage": sum(1 for p in percentages if p >= 100.0),
+            "mean_percentage": (
+                round(sum(percentages) / len(percentages), 4)
+                if percentages
+                else None
+            ),
+            "seconds": round(
+                seconds if seconds is not None
+                else sum(r.seconds for r in results),
+                6,
+            ),
+        },
+    }
+
+
+def write_report(
+    results: Sequence[JobResult],
+    path: "str | Path",
+    seconds: Optional[float] = None,
+) -> None:
+    """Serialise :func:`suite_report` to ``path`` as indented JSON."""
+    Path(path).write_text(
+        json.dumps(suite_report(results, seconds), indent=2) + "\n"
+    )
+
+
+def format_results(
+    results: Sequence[JobResult], seconds: Optional[float] = None
+) -> str:
+    """Human-readable text block: one line per job plus a totals line."""
+    lines = [result.format_line() for result in results]
+    ok = sum(1 for r in results if r.status == "ok")
+    failed = sum(1 for r in results if r.status == "fail")
+    errors = sum(1 for r in results if r.status == "error")
+    wall = seconds if seconds is not None else sum(r.seconds for r in results)
+    lines.append(
+        f"{len(results)} job(s): {ok} ok, {failed} failed, {errors} "
+        f"error(s) in {wall:.2f}s"
+    )
+    return "\n".join(lines)

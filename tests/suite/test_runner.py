@@ -1,0 +1,173 @@
+"""Tests for the suite runner: execution, parallelism, JSON reporting."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.suite import (
+    CoverageJob,
+    JSON_SCHEMA_ID,
+    builtin_jobs,
+    execute_job,
+    format_results,
+    rml_job,
+    run_jobs,
+    suite_report,
+    write_report,
+)
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent.parent / "examples"
+
+#: A small, fast job mix: builtin full/partial coverage, an .rml model,
+#: a verification failure, and a parse error.
+def _jobs():
+    return [
+        CoverageJob(name="counter@full", kind="builtin", target="counter",
+                    stage="full"),
+        CoverageJob(name="counter@partial", kind="builtin", target="counter",
+                    stage="partial"),
+        rml_job(EXAMPLES_DIR / "traffic_light.rml"),
+        CoverageJob(name="buggy", kind="builtin", target="buffer-lo",
+                    stage="augmented", buggy=True),
+        CoverageJob(name="broken", kind="rml", path="broken.rml",
+                    source="MODULE broken\nVAR\n  x : oops;\n"),
+    ]
+
+
+class TestExecuteJob:
+    def test_ok_job(self):
+        result = execute_job(_jobs()[0])
+        assert result.status == "ok"
+        assert result.percentage == 100.0
+        assert result.covered_states == result.space_states == 20
+        assert result.uncovered_states == 0
+        assert result.observed == ["count"]
+        assert result.properties == 11
+        assert result.nodes_created > 0
+
+    def test_partial_coverage_job(self):
+        result = execute_job(_jobs()[1])
+        assert result.status == "ok"
+        assert result.percentage == pytest.approx(80.0)
+        assert result.uncovered_states == 4
+
+    def test_rml_job(self):
+        result = execute_job(_jobs()[2])
+        assert result.status == "ok"
+        assert result.kind == "rml"
+        assert result.model == "traffic_light"
+        assert result.percentage == 100.0
+
+    def test_failing_verification_is_fail_not_error(self):
+        result = execute_job(_jobs()[3])
+        assert result.status == "fail"
+        assert result.percentage is None
+        assert len(result.failing_properties) == 2
+        assert result.properties == 7
+
+    def test_parse_error_is_captured(self):
+        result = execute_job(_jobs()[4])
+        assert result.status == "error"
+        assert "broken.rml" in result.error
+
+    def test_rml_without_specs_errors(self):
+        job = CoverageJob(
+            name="no-specs", kind="rml", path="x.rml",
+            source=(
+                "MODULE x\nVAR\n  a : boolean;\nASSIGN\n  next(a) := !a;\n"
+                "OBSERVED a;\n"
+            ),
+        )
+        result = execute_job(job)
+        assert result.status == "error"
+        assert "SPEC" in result.error
+
+    def test_failing_job_nodes_created_is_a_delta(self):
+        # Same meaning as the ok path: work during verify/estimate, not the
+        # manager's absolute node total (which includes the FSM build).
+        result = execute_job(_jobs()[3])
+        ok = execute_job(_jobs()[0])
+        assert result.status == "fail" and ok.status == "ok"
+        assert 0 < result.nodes_created
+        # buffer-lo model checking alone creates far more nodes than a
+        # trivial manager's constants-plus-build baseline.
+        assert result.nodes_created > 100
+
+    def test_rml_without_observed_errors(self):
+        job = CoverageJob(
+            name="no-observed", kind="rml", path="x.rml",
+            source=(
+                "MODULE x\nVAR\n  a : boolean;\nASSIGN\n  next(a) := !a;\n"
+                "SPEC AG (a -> AX !a);\n"
+            ),
+        )
+        result = execute_job(job)
+        assert result.status == "error"
+        assert "OBSERVED" in result.error
+
+
+class TestRunJobs:
+    def test_serial_execution_order_preserved(self):
+        jobs = _jobs()
+        results = run_jobs(jobs, max_workers=1)
+        assert [r.name for r in results] == [j.name for j in jobs]
+
+    def test_parallel_matches_serial(self):
+        jobs = _jobs()
+        serial = run_jobs(jobs, max_workers=1)
+        parallel = run_jobs(jobs, max_workers=4)
+        assert [r.name for r in parallel] == [r.name for r in serial]
+        for s, p in zip(serial, parallel):
+            assert p.status == s.status
+            assert p.percentage == s.percentage
+            assert p.covered_states == s.covered_states
+            assert p.space_states == s.space_states
+            assert p.failing_properties == s.failing_properties
+
+
+class TestReporting:
+    def test_suite_report_schema(self):
+        results = run_jobs(_jobs(), max_workers=1)
+        report = suite_report(results, seconds=1.25)
+        assert report["schema"] == JSON_SCHEMA_ID
+        assert report["generator"].startswith("repro ")
+        assert len(report["jobs"]) == len(results)
+        totals = report["totals"]
+        assert totals["jobs"] == 5
+        assert totals["ok"] == 3
+        assert totals["failed"] == 1
+        assert totals["errors"] == 1
+        assert totals["full_coverage"] == 2
+        assert totals["seconds"] == 1.25
+        first = report["jobs"][0]
+        for key in ("name", "kind", "status", "model", "stage", "observed",
+                    "properties", "percentage", "covered_states",
+                    "space_states", "uncovered_states", "failing_properties",
+                    "error", "seconds", "nodes_created"):
+            assert key in first
+
+    def test_report_is_json_serialisable(self, tmp_path):
+        results = run_jobs(_jobs()[:2], max_workers=1)
+        out = tmp_path / "report.json"
+        write_report(results, out)
+        loaded = json.loads(out.read_text())
+        assert loaded["schema"] == JSON_SCHEMA_ID
+        assert loaded["jobs"][0]["percentage"] == 100.0
+
+    def test_format_results_lines(self):
+        results = run_jobs(_jobs(), max_workers=1)
+        text = format_results(results)
+        assert "counter@full" in text
+        assert "FAIL" in text
+        assert "ERROR" in text
+        assert "5 job(s): 3 ok, 1 failed, 1 error(s)" in text
+
+
+@pytest.mark.slow
+class TestFullRegistry:
+    def test_all_builtin_jobs_verify(self):
+        results = run_jobs(builtin_jobs(), max_workers=1)
+        assert all(r.status == "ok" for r in results), [
+            (r.name, r.status, r.error) for r in results if r.status != "ok"
+        ]

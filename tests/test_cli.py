@@ -1,8 +1,13 @@
 """Tests for the repro-coverage command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import TARGETS, build_parser, main
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 
 class TestParser:
@@ -19,6 +24,22 @@ class TestParser:
     def test_unknown_target(self, capsys):
         assert main(["nonsense"]) == 2
         assert "unknown target" in capsys.readouterr().err
+
+    def test_invalid_stage_rejected(self, capsys):
+        assert main(["counter", "--stage", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid stage 'bogus'" in err
+        assert "full, partial" in err
+
+    def test_stage_on_stageless_target_rejected(self, capsys):
+        assert main(["queue-full", "--stage", "initial"]) == 2
+        assert "takes no --stage" in capsys.readouterr().err
+
+    def test_every_declared_stage_is_accepted(self, capsys):
+        for name, (_, stages, _desc) in TARGETS.items():
+            for stage in stages:
+                assert main([name, "--stage", stage]) == 0, (name, stage)
+        capsys.readouterr()
 
 
 class TestCoverageRuns:
@@ -76,3 +97,130 @@ class TestCoverageRuns:
     def test_buffer_hi(self, capsys):
         assert main(["buffer-hi"]) == 0
         assert "100.00%" in capsys.readouterr().out
+
+
+class TestRunSubcommand:
+    def test_counter_rml_matches_builtin_target(self, capsys):
+        # Acceptance criterion: `run examples/counter.rml` reproduces the
+        # built-in `counter` target's coverage percentage.
+        assert main(["run", str(EXAMPLES_DIR / "counter.rml")]) == 0
+        rml_out = capsys.readouterr().out
+        assert main(["counter"]) == 0
+        builtin_out = capsys.readouterr().out
+
+        def percentage(text):
+            line = next(l for l in text.splitlines() if "%" in l)
+            return line.split("=")[-1].strip()
+
+        assert percentage(rml_out) == percentage(builtin_out) == "100.00%"
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "no/such/model.rml"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_directory_argument_is_a_clean_error(self, capsys):
+        # An easy typo for `suite examples` — must not traceback.
+        assert main(["run", str(EXAMPLES_DIR)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_parse_error_reports_line_and_column(self, capsys, tmp_path):
+        path = tmp_path / "bad.rml"
+        path.write_text("MODULE bad\nVAR\n  x : boolean;\nASSIGN\n"
+                        "  next(x) := x & & x;\n")
+        assert main(["run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "bad.rml:5:18" in err
+
+    def test_elaboration_error_reports_location(self, capsys, tmp_path):
+        path = tmp_path / "ghost.rml"
+        path.write_text("MODULE ghost\nVAR\n  x : boolean;\nASSIGN\n"
+                        "  next(x) := ghost_signal;\nOBSERVED x;\n")
+        assert main(["run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "ghost.rml:5" in err
+        assert "unknown signal" in err
+
+    def test_module_without_observed_rejected(self, capsys, tmp_path):
+        path = tmp_path / "no_obs.rml"
+        path.write_text("MODULE no_obs\nVAR\n  x : boolean;\nASSIGN\n"
+                        "  next(x) := !x;\nSPEC AG (x -> AX !x);\n")
+        assert main(["run", str(path)]) == 2
+        assert "OBSERVED" in capsys.readouterr().err
+
+    def test_module_without_specs_rejected(self, capsys, tmp_path):
+        path = tmp_path / "no_spec.rml"
+        path.write_text("MODULE no_spec\nVAR\n  x : boolean;\nASSIGN\n"
+                        "  next(x) := !x;\nOBSERVED x;\n")
+        assert main(["run", str(path)]) == 2
+        assert "SPEC" in capsys.readouterr().err
+
+    def test_failing_property_aborts_with_counterexample(self, capsys, tmp_path):
+        path = tmp_path / "wrong.rml"
+        path.write_text(
+            "MODULE wrong\nVAR\n  x : boolean;\nASSIGN\n"
+            "  init(x) := FALSE;\n  next(x) := !x;\n"
+            "SPEC AG (!x -> AX !x);\nOBSERVED x;\n"
+        )
+        assert main(["run", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "aborting" in out
+
+    def test_traces_flag(self, capsys, tmp_path):
+        path = tmp_path / "hole.rml"
+        # One increment property only: the reset behaviour stays uncovered.
+        path.write_text(
+            "MODULE hole\nVAR\n  r : boolean;\n  w : word[1];\nASSIGN\n"
+            "  init(w) := 0;\n"
+            "  next(w) := case\n    r : 0;\n    TRUE : w + 1;\n  esac;\n"
+            "SPEC AG (!r & w = 0 -> AX w = 1);\nOBSERVED w;\n"
+        )
+        assert main(["run", str(path), "--traces", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "uncovered" in out
+
+
+class TestSuiteSubcommand:
+    def test_suite_runs_rml_directory(self, capsys, tmp_path):
+        (tmp_path / "light.rml").write_text(
+            (EXAMPLES_DIR / "traffic_light.rml").read_text()
+        )
+        assert main(["suite", str(tmp_path), "--no-builtins"]) == 0
+        out = capsys.readouterr().out
+        assert "rml:light" in out
+        assert "1 job(s): 1 ok" in out
+
+    def test_missing_directory(self, capsys):
+        assert main(["suite", "no/such/dir"]) == 2
+        assert "no such directory" in capsys.readouterr().err
+
+    def test_parallel_json_matches_serial(self, capsys, tmp_path):
+        # Acceptance criterion: parallel per-job percentages match serial
+        # execution.  A small rml-only suite keeps this fast.
+        for name in ("counter", "traffic_light", "arbiter"):
+            (tmp_path / f"{name}.rml").write_text(
+                (EXAMPLES_DIR / f"{name}.rml").read_text()
+            )
+        serial_json = tmp_path / "serial.json"
+        parallel_json = tmp_path / "parallel.json"
+        assert main(["suite", str(tmp_path), "--no-builtins",
+                     "--jobs", "1", "--json", str(serial_json)]) == 0
+        assert main(["suite", str(tmp_path), "--no-builtins",
+                     "--jobs", "4", "--json", str(parallel_json)]) == 0
+        capsys.readouterr()
+        serial = json.loads(serial_json.read_text())
+        parallel = json.loads(parallel_json.read_text())
+        assert serial["schema"] == parallel["schema"] == "repro-coverage-suite/v1"
+        serial_pct = [(j["name"], j["percentage"]) for j in serial["jobs"]]
+        parallel_pct = [(j["name"], j["percentage"]) for j in parallel["jobs"]]
+        assert serial_pct == parallel_pct
+        assert len(serial_pct) == 3
+
+    def test_failing_job_sets_exit_code(self, capsys, tmp_path):
+        (tmp_path / "wrong.rml").write_text(
+            "MODULE wrong\nVAR\n  x : boolean;\nASSIGN\n"
+            "  init(x) := FALSE;\n  next(x) := !x;\n"
+            "SPEC AG (!x -> AX !x);\nOBSERVED x;\n"
+        )
+        assert main(["suite", str(tmp_path), "--no-builtins"]) == 1
+        assert "FAIL" in capsys.readouterr().out
