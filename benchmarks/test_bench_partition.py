@@ -1,0 +1,121 @@
+"""Partitioned vs monolithic transition relations on widened models.
+
+The tentpole claim: keeping one relation conjunct per latch behind an
+early-quantification schedule makes the image-computation hot path cheaper
+than conjoining everything into one relation BDD up front.  Two workloads,
+measured in BDD nodes created (deterministic, machine-independent):
+
+* **cold start** — build the FSM and compute one image (the suite runner's
+  per-job shape for quick jobs, trace replay, failing-fast verification).
+  Partitioned wins on every model because the monolithic AND — the largest
+  single construction of a run — is simply never performed.
+* **deep reachability** — build plus the full forward fixpoint (the
+  dominant cost of the Table-1 recursion via ``C(S0, AG f) =
+  C(reachable(S0), f)``).  Partitioned wins and the margin *grows with
+  model size* on the widened pipeline, whose per-latch supports are local
+  (stage ``k`` only reads stage ``k-1`` and the hold counter).
+
+The widened circular queue is the honest counter-example for the second
+workload: every latch's next-state function reads the full/empty
+comparators and therefore almost every current variable, so no schedule
+can retire variables early and repeated chain execution loses to one
+product against the (compact, interleaved-order) monolithic relation.
+The emitted table reports it; ``--trans mono`` exists for exactly such
+models.  See ``docs/performance.md`` for the full analysis — regenerate
+its table with ``python -m pytest benchmarks/test_bench_partition.py -s``.
+"""
+
+from repro.circuits import build_circular_queue, build_pipeline
+
+from .conftest import emit
+
+#: (label, builder) for the widened instances under test.
+MODELS = {
+    "queue d=32": lambda trans: build_circular_queue(depth=32, trans=trans),
+    "queue d=64": lambda trans: build_circular_queue(depth=64, trans=trans),
+    "pipeline s=8": lambda trans: build_pipeline(stages=8, trans=trans),
+    "pipeline s=12": lambda trans: build_pipeline(stages=12, trans=trans),
+}
+
+
+def _cold_start(build, trans):
+    """Build the machine and take one forward image from the initial set."""
+    fsm = build(trans)
+    fsm.image(fsm.init)
+    return fsm.manager.created_nodes
+
+
+def _deep_reachability(build, trans):
+    """Build the machine and run the full forward fixpoint."""
+    fsm = build(trans)
+    fsm.reachable()
+    return fsm.manager.created_nodes
+
+
+def _sweep(workload, labels):
+    rows = []
+    for label in labels:
+        build = MODELS[label]
+        mono = workload(build, "mono")
+        part = workload(build, "partitioned")
+        rows.append((label, mono, part, mono / part))
+    return rows
+
+
+def _table(rows):
+    lines = ["| model | mono nodes | partitioned nodes | win |",
+             "| --- | --- | --- | --- |"]
+    for label, mono, part, ratio in rows:
+        lines.append(f"| {label} | {mono} | {part} | {ratio:.2f}x |")
+    return lines
+
+
+def test_partition_cold_start_beats_mono_everywhere(benchmark):
+    rows = benchmark(lambda: _sweep(_cold_start, list(MODELS)))
+    emit("Partitioning: cold start (build + first image), nodes created",
+         _table(rows))
+    for label, mono, part, _ratio in rows:
+        assert part < mono, f"partitioned lost the cold start on {label}"
+    # The margin comes from skipping the monolithic AND, whose cost grows
+    # with the latch count — the win must be substantial, not marginal.
+    assert max(ratio for _, _, _, ratio in rows) > 4.0
+
+
+def test_partition_reachability_beats_mono_on_widened_pipeline(benchmark):
+    rows = benchmark(
+        lambda: _sweep(_deep_reachability, ["pipeline s=8", "pipeline s=12"])
+    )
+    emit("Partitioning: deep reachability on widened pipelines, nodes created",
+         _table(rows))
+    by_label = {label: (mono, part, ratio) for label, mono, part, ratio in rows}
+    for label, (mono, part, _r) in by_label.items():
+        assert part < mono, f"partitioned lost deep reachability on {label}"
+    # Local supports mean the advantage grows as the pipeline widens.
+    assert by_label["pipeline s=12"][2] > by_label["pipeline s=8"][2]
+
+
+def test_partition_reachability_queue_tradeoff(benchmark):
+    """The documented boundary of the technique: overlapping supports.
+
+    Both modes must agree on the reachable set; no winner is asserted —
+    on the queue the conjunct supports all overlap (every latch reads the
+    full/empty comparators), so deep fixpoints favour the compact
+    monolithic relation.  This is why ``--trans mono`` stays available.
+    """
+
+    def run():
+        out = {}
+        for trans in ("mono", "partitioned"):
+            fsm = build_circular_queue(depth=16, trans=trans)
+            reached = fsm.count_states(fsm.reachable())
+            out[trans] = (reached, fsm.manager.created_nodes)
+        return out
+
+    out = benchmark(run)
+    assert out["mono"][0] == out["partitioned"][0]
+    emit(
+        "Partitioning: deep reachability on queue d=16 (the trade-off case)",
+        [f"mono:        {out['mono'][1]} nodes",
+         f"partitioned: {out['partitioned'][1]} nodes "
+         "(overlapping supports — schedule cannot retire variables early)"],
+    )

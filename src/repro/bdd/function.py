@@ -10,7 +10,7 @@ reads like the paper's set equations, e.g.::
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Sequence
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from ..errors import BDDError
 from .manager import FALSE, TRUE, BDDManager
@@ -133,6 +133,22 @@ class Function:
         return Function(
             self.manager,
             self.manager.and_exists(self.node, self._coerce(other), variables),
+        )
+
+    def and_exists_chain(
+        self, steps: Sequence[Tuple["Function", Sequence[int]]]
+    ) -> "Function":
+        """Scheduled multi-conjunct relational product.
+
+        ``steps`` is a sequence of ``(conjunct, variables)`` pairs; the
+        result is ``exists (all scheduled variables) . (self & AND of all
+        conjuncts)`` provided the schedule is legal (no variable quantified
+        before its last conjunct — see
+        :meth:`repro.bdd.manager.BDDManager.and_exists_chain`).
+        """
+        raw = [(self._coerce(g), list(variables)) for g, variables in steps]
+        return Function(
+            self.manager, self.manager.and_exists_chain(self.node, raw)
         )
 
     def restrict(self, var: int, value: bool) -> "Function":

@@ -471,6 +471,35 @@ class BDDManager:
         self._relprod_cache[key] = result
         return result
 
+    def and_exists_chain(
+        self,
+        f: int,
+        steps: Sequence[Tuple[int, Sequence[int]]],
+    ) -> int:
+        """Multi-conjunct relational product executing a quantification schedule.
+
+        Computes ``exists (union of all step variables) . (f & g1 & ... & gk)``
+        by folding one conjunct at a time::
+
+            acc = f
+            for (g_i, vars_i) in steps:
+                acc = exists vars_i . (acc & g_i)
+
+        This is only equal to quantifying everything at the end when the
+        schedule is *legal*: a variable listed at step ``i`` must not occur
+        in any later conjunct ``g_j`` (``j > i``).  Callers obtain legal
+        schedules from :mod:`repro.fsm.partition`, which places each
+        variable at its earliest legal step (early quantification).  The
+        payoff is that the monolithic ``g1 & ... & gk`` — often the largest
+        BDD of a model-checking run — is never built.
+        """
+        result = f
+        for conjunct, variables in steps:
+            result = self.and_exists(result, conjunct, variables)
+            if result == FALSE:
+                return FALSE
+        return result
+
     # ------------------------------------------------------------------
     # Cofactor / composition / renaming
     # ------------------------------------------------------------------

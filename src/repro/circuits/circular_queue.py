@@ -56,8 +56,12 @@ __all__ = [
 DEFAULT_DEPTH = 4
 
 
-def build_circular_queue(depth: int = DEFAULT_DEPTH) -> FSM:
-    """Build the circular queue with pointer width ``ceil(log2(depth))``."""
+def build_circular_queue(depth: int = DEFAULT_DEPTH, trans: str = "partitioned") -> FSM:
+    """Build the circular queue with pointer width ``ceil(log2(depth))``.
+
+    ``trans`` selects the transition-relation mode (see
+    :meth:`~repro.fsm.builder.CircuitBuilder.build`).
+    """
     if depth < 2 or depth & (depth - 1):
         raise ValueError("depth must be a power of two >= 2")
     width = int(math.log2(depth))
@@ -100,7 +104,7 @@ def build_circular_queue(depth: int = DEFAULT_DEPTH) -> FSM:
     b.word("wr", wr_bits)
     b.define("full", full)
     b.define("empty", empty)
-    return b.build()
+    return b.build(trans=trans)
 
 
 def _bundle(parts: List[CtlFormula]) -> CtlFormula:

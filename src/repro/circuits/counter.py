@@ -33,12 +33,14 @@ __all__ = [
 ]
 
 
-def build_counter(modulus: int = 5) -> FSM:
+def build_counter(modulus: int = 5, trans: str = "partitioned") -> FSM:
     """The modulo-``modulus`` counter of the paper's introduction.
 
     State variables: ``count`` (a ``ceil(log2(modulus))``-bit word) plus the
     free inputs ``stall`` and ``reset``.  Values ``>= modulus`` are
-    unreachable (and therefore outside the coverage space).
+    unreachable (and therefore outside the coverage space).  ``trans``
+    selects the transition-relation mode (see
+    :meth:`~repro.fsm.builder.CircuitBuilder.build`).
     """
     width = max(1, math.ceil(math.log2(modulus)))
     builder = CircuitBuilder(f"counter_mod{modulus}")
@@ -51,7 +53,7 @@ def build_counter(modulus: int = 5) -> FSM:
         # Reset dominates: the bit clears regardless of stall.
         builder.latch(bit, init=False, next_=mux(reset, FALSE_EXPR, advance))
     builder.word("count", bits)
-    return builder.build()
+    return builder.build(trans=trans)
 
 
 def counter_properties(modulus: int = 5) -> List[CtlFormula]:

@@ -49,15 +49,23 @@ __all__ = [
 HOLD_CYCLES = 3
 
 
-def build_pipeline() -> FSM:
-    """Build the 3-stage pipeline with the output hold state machine.
+def build_pipeline(stages: int = 3, trans: str = "partitioned") -> FSM:
+    """Build the ``stages``-stage pipeline with the output hold state machine.
 
-    State variables: per-stage valid/data bits (``v1,d1,v2,d2,v3,d3``), the
-    2-bit hold counter ``h``, and the free inputs ``in_valid``, ``in_data``
-    and ``stall`` — 11 variables, the same order of magnitude as the
-    paper's 15-variable final model.
+    With the default ``stages=3`` (the paper's circuit) the state variables
+    are per-stage valid/data bits (``v1,d1,v2,d2,v3,d3``), the 2-bit hold
+    counter ``h``, and the free inputs ``in_valid``, ``in_data`` and
+    ``stall`` — 11 variables, the same order of magnitude as the paper's
+    15-variable final model.  Larger ``stages`` values widen the datapath
+    with more ``vK,dK`` pairs (the property suites below are written for
+    the 3-stage shape only); the partition benchmark uses widened instances
+    to measure mono vs partitioned image costs.  ``trans`` selects the
+    transition-relation mode (see
+    :meth:`~repro.fsm.builder.CircuitBuilder.build`).
     """
-    b = CircuitBuilder("pipeline3")
+    if stages < 2:
+        raise ValueError("the pipeline needs at least 2 stages")
+    b = CircuitBuilder(f"pipeline{stages}")
     in_valid = b.input("in_valid")
     in_data = b.input("in_data")
     stall = b.input("stall")
@@ -69,25 +77,26 @@ def build_pipeline() -> FSM:
         b.latch(valid_dst, init=False, next_=mux(advance, valid_src, Var(valid_dst)))
         b.latch(data_dst, init=False, next_=mux(advance, data_src, Var(data_dst)))
 
-    staged(in_valid, in_data, "v1", "d1")
-    staged(Var("v1"), Var("d1"), "v2", "d2")
-    staged(Var("v2"), Var("d2"), "v3", "d3")
+    prev_v, prev_d = in_valid, in_data
+    for k in range(1, stages + 1):
+        staged(prev_v, prev_d, f"v{k}", f"d{k}")
+        prev_v, prev_d = Var(f"v{k}"), Var(f"d{k}")
 
     # Hold counter: set to HOLD_CYCLES-1 (= 2) when a new valid value
-    # arrives at stage 3, then counts down unconditionally (the downstream
-    # state machine processes regardless of pipeline stalls).  With the
-    # sequence 0 -> 2 -> 1 -> 0 the per-bit logic collapses to:
+    # arrives at the last stage, then counts down unconditionally (the
+    # downstream state machine processes regardless of pipeline stalls).
+    # With the sequence 0 -> 2 -> 1 -> 0 the per-bit logic collapses to:
     #   h0' = 1  iff  h == 2          (the 2 -> 1 step)
     #   h1' = 1  iff  a value arrives (the 0 -> 2 step; arrival implies h=0)
-    arriving = And((advance, Var("v2")))
+    arriving = And((advance, Var(f"v{stages - 1}")))
     b.latch("h0", init=False, next_=parse_expr("h = 2"))
     b.latch("h1", init=False, next_=arriving)
     b.word("h", ["h0", "h1"])
 
-    b.define("output", "d3")
-    b.define("out_valid", "v3")
+    b.define("output", f"d{stages}")
+    b.define("out_valid", f"v{stages}")
     b.fairness("!stall")
-    return b.build()
+    return b.build(trans=trans)
 
 
 def pipeline_output_properties() -> List[CtlFormula]:

@@ -61,7 +61,8 @@ def _width_for(count: int) -> int:
 
 
 def build_priority_buffer(
-    capacity: int = DEFAULT_CAPACITY, buggy: bool = False
+    capacity: int = DEFAULT_CAPACITY, buggy: bool = False,
+    trans: str = "partitioned",
 ) -> FSM:
     """Build the priority buffer.
 
@@ -73,6 +74,9 @@ def build_priority_buffer(
         Plant the paper's escaped bug: a low-priority arrival is dropped
         whenever the buffer is completely empty (the designer's acceptance
         logic short-circuits on the empty condition).
+    trans:
+        Transition-relation mode (see
+        :meth:`~repro.fsm.builder.CircuitBuilder.build`).
     """
     width = _width_for(capacity)
     b = CircuitBuilder(
@@ -120,7 +124,7 @@ def build_priority_buffer(
         b.define(f"total{i}", expr)
         total_names.append(f"total{i}")
     b.word("total", total_names)
-    return b.build()
+    return b.build(trans=trans)
 
 
 def _bundle(parts: List[CtlFormula]) -> CtlFormula:

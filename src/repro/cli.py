@@ -48,7 +48,10 @@ __all__ = ["main", "TARGETS"]
 
 def _legacy_builder(name: str) -> Callable:
     def build(args):
-        return build_builtin(name, stage=args.stage, buggy=args.buggy)
+        return build_builtin(
+            name, stage=args.stage, buggy=args.buggy,
+            trans=getattr(args, "trans", "partitioned"),
+        )
 
     return build
 
@@ -84,7 +87,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--traces", type=int, default=0, metavar="N",
         help="print traces to up to N uncovered states",
     )
+    _add_trans_flag(parser)
     return parser
+
+
+def _add_trans_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trans", choices=["mono", "partitioned"], default="partitioned",
+        help=(
+            "transition-relation mode: 'partitioned' (per-latch conjuncts "
+            "with early quantification, the default) or 'mono' (one "
+            "monolithic relation BDD); coverage results are identical, "
+            "only image-computation cost differs"
+        ),
+    )
 
 
 def _build_run_parser() -> argparse.ArgumentParser:
@@ -97,6 +113,7 @@ def _build_run_parser() -> argparse.ArgumentParser:
         "--traces", type=int, default=0, metavar="N",
         help="print traces to up to N uncovered states",
     )
+    _add_trans_flag(parser)
     return parser
 
 
@@ -123,6 +140,7 @@ def _build_suite_parser() -> argparse.ArgumentParser:
         "--no-builtins", action="store_true",
         help="run only discovered .rml jobs",
     )
+    _add_trans_flag(parser)
     return parser
 
 
@@ -165,7 +183,7 @@ def _parse_error_message(exc: ParseError) -> str:
 def _main_run(argv: List[str]) -> int:
     args = _build_run_parser().parse_args(argv)
     try:
-        model = elaborate(load_module(args.file))
+        model = elaborate(load_module(args.file), trans=args.trans)
     except OSError as exc:
         print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
         return 2
@@ -205,7 +223,8 @@ def _main_suite(argv: List[str]) -> int:
         print(f"error: no such directory: {directory}", file=sys.stderr)
         return 2
     jobs = default_jobs(
-        rml_dir=directory, include_builtins=not args.no_builtins
+        rml_dir=directory, include_builtins=not args.no_builtins,
+        trans=args.trans,
     )
     if not jobs:
         print("error: no jobs registered", file=sys.stderr)
@@ -256,7 +275,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     try:
         fsm, props, observed, dont_care = build_builtin(
-            args.target, stage=args.stage, buggy=args.buggy
+            args.target, stage=args.stage, buggy=args.buggy, trans=args.trans
         )
         return _verify_and_report(fsm, props, observed, dont_care, args.traces)
     except ReproError as exc:

@@ -26,6 +26,13 @@ coverage space is the set of states reachable along fair paths.
 
 Don't-cares (Section 4.2): a user-supplied state predicate excluded from
 the coverage space before the percentage is computed.
+
+The recursion is dominated by image computations (``forward``,
+``reachable``, ``traverse``, ``firstreached``), all of which go through
+:meth:`FSM.image`/:meth:`FSM.preimage` and therefore honour the FSM's
+transition-relation mode — partitioned machines (the default) never build
+the monolithic relation at all.  Mono and partitioned estimation produce
+byte-identical reports (asserted by ``tests/fsm/test_trans_equivalence.py``).
 """
 
 from __future__ import annotations

@@ -19,6 +19,11 @@ computed sets equal the paper's recursive definitions (least fixpoints).
 sub-formulas of an Until may themselves be temporal), so these functions are
 pure state-set manipulation.  An optional ``restrict`` set (fair states,
 paper Section 4.3) clips every forward step.
+
+Every forward step delegates to :meth:`FSM.image`, which executes either a
+monolithic relational product or the partitioned early-quantification
+chain depending on the machine's ``trans_mode`` — the fixpoints here are
+agnostic to the choice and compute identical sets either way.
 """
 
 from __future__ import annotations

@@ -3,6 +3,15 @@
 from .builder import CircuitBuilder
 from .explicit import ExplicitGraph, ExplicitModel, enumerate_model
 from .fsm import FSM, NEXT_SUFFIX
+from .partition import (
+    TRANS_MODES,
+    TRANS_MONO,
+    TRANS_PARTITIONED,
+    Schedule,
+    ScheduleStep,
+    TransitionPartition,
+    early_quantification_schedule,
+)
 
 __all__ = [
     "FSM",
@@ -11,4 +20,11 @@ __all__ = [
     "ExplicitGraph",
     "ExplicitModel",
     "enumerate_model",
+    "TRANS_MODES",
+    "TRANS_MONO",
+    "TRANS_PARTITIONED",
+    "Schedule",
+    "ScheduleStep",
+    "TransitionPartition",
+    "early_quantification_schedule",
 ]

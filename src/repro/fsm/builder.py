@@ -27,6 +27,12 @@ from ..expr.ast import Expr, Var
 from ..expr.bitvector import WordTable, int_to_bits, resolve_words
 from ..expr.parser import parse_expr
 from .fsm import FSM, NEXT_SUFFIX
+from .partition import (
+    TRANS_MONO,
+    TRANS_PARTITIONED,
+    TransitionPartition,
+    validate_trans_mode,
+)
 
 __all__ = ["CircuitBuilder"]
 
@@ -162,13 +168,24 @@ class CircuitBuilder:
     # Compilation
     # ------------------------------------------------------------------
 
-    def build(self, manager: Optional[BDDManager] = None) -> FSM:
+    def build(
+        self,
+        manager: Optional[BDDManager] = None,
+        trans: str = TRANS_PARTITIONED,
+    ) -> FSM:
         """Compile the accumulated description into an :class:`FSM`.
 
         Declares variables in interleaved current/next order, resolves
-        ``define`` chains (rejecting cycles), conjoins the next-state
-        equations into the transition relation, and symbolises fairness.
+        ``define`` chains (rejecting cycles), builds one transition-relation
+        conjunct per latch, and symbolises fairness.
+
+        ``trans`` selects the image-execution mode of the resulting FSM:
+        ``"partitioned"`` (default) keeps the per-latch conjuncts separate
+        behind an early-quantification schedule; ``"mono"`` conjoins them
+        into the classic monolithic relation up front.  Both machines
+        compute identical sets (see ``tests/fsm/test_trans_equivalence.py``).
         """
+        validate_trans_mode(trans)
         if manager is None:
             manager = BDDManager()
         state_vars = self._latches + self._inputs
@@ -213,12 +230,24 @@ class CircuitBuilder:
             signal_fn(name)
             signal_exprs[name] = self._defines[name]
 
-        # Transition relation: conjunction of per-latch equations; free
-        # inputs contribute no conjunct (their next value is unconstrained).
-        transition = Function.true(manager)
+        # Transition relation: one conjunct per latch (``latch' <-> f``);
+        # free inputs contribute no conjunct (their next value is
+        # unconstrained).  The partition keeps the conjuncts separate;
+        # mono mode conjoins them here, eagerly.
+        conjuncts: List[Function] = []
         for latch in self._latches:
             next_var = Function.var(manager, latch + NEXT_SUFFIX)
-            transition = transition & next_var.iff(symbolize(self._latch_next[latch]))
+            conjuncts.append(next_var.iff(symbolize(self._latch_next[latch])))
+        partition = (
+            TransitionPartition(conjuncts, labels=list(self._latches))
+            if conjuncts
+            else None
+        )
+        transition: Optional[Function] = None
+        if partition is None:
+            transition = Function.true(manager)  # no latches: inputs only
+        elif trans == TRANS_MONO:
+            transition = partition.monolithic()
 
         init = Function.true(manager)
         for latch in self._latches:
@@ -233,6 +262,8 @@ class CircuitBuilder:
             state_vars=state_vars,
             inputs=self._inputs,
             transition=transition,
+            partition=partition,
+            trans_mode=trans if partition is not None else TRANS_MONO,
             init=init,
             signals=signals,
             signal_exprs=signal_exprs,

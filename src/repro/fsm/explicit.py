@@ -199,6 +199,11 @@ class ExplicitGraph:
         State variables are ``s0..s{k-1}``; every labelled signal becomes a
         defined proposition (the union of its states' cubes).  Unused binary
         codes are unreachable, so they never enter the coverage space.
+
+        The relation is built edge-by-edge as a single BDD, so graph FSMs
+        always run in monolithic mode — there is no per-latch functional
+        structure to partition.  The mono/partitioned cross-check tests use
+        this as the partition-free reference semantics.
         """
         if not self._initial:
             raise ModelError(f"graph {self.name!r} has no initial state")
@@ -241,6 +246,7 @@ class ExplicitGraph:
             state_vars=state_vars,
             inputs=[],
             transition=transition,
+            trans_mode="mono",
             init=init,
             signals=signals,
         )

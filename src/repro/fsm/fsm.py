@@ -33,6 +33,12 @@ from ..expr.ast import And as EAnd
 from ..expr.ast import Const, Expr, Iff as EIff, Implies as EImplies
 from ..expr.ast import Not as ENot, Or as EOr, Var, WordCmp, Xor as EXor
 from ..expr.bitvector import WordTable, resolve_words
+from .partition import (
+    TRANS_MONO,
+    TRANS_PARTITIONED,
+    TransitionPartition,
+    validate_trans_mode,
+)
 
 __all__ = ["FSM", "NEXT_SUFFIX"]
 
@@ -57,7 +63,17 @@ class FSM:
         next value).  Informational — the transition relation already
         encodes this.
     transition:
-        The transition relation over current and next variables.
+        The monolithic transition relation over current and next variables.
+        May be omitted when ``partition`` is given (partitioned mode never
+        needs it; it is conjoined lazily on first access).
+    partition:
+        Optional :class:`~repro.fsm.partition.TransitionPartition` — the
+        per-latch relation conjuncts with early-quantification schedules.
+        Required for ``trans_mode="partitioned"``.
+    trans_mode:
+        How images are executed: ``"partitioned"`` (the default when a
+        partition is available) runs the scheduled ``and_exists`` chain;
+        ``"mono"`` uses the single relation BDD.
     init:
         The initial state set over current variables.
     signals:
@@ -82,20 +98,36 @@ class FSM:
         name: str,
         state_vars: Sequence[str],
         inputs: Sequence[str],
-        transition: Function,
+        *,
+        transition: Optional[Function] = None,
         init: Function,
         signals: Dict[str, Function],
         signal_exprs: Optional[Dict[str, Expr]] = None,
         words: Optional[WordTable] = None,
         fairness: Optional[List[Function]] = None,
         latch_next_exprs: Optional[Dict[str, Expr]] = None,
+        partition: Optional[TransitionPartition] = None,
+        trans_mode: Optional[str] = None,
     ):
         self.manager = manager
         self.name = name
         self.state_vars = list(state_vars)
         self.inputs = list(inputs)
         self.latches = [v for v in self.state_vars if v not in set(inputs)]
-        self.transition = transition
+        if transition is None and partition is None:
+            raise ModelError(
+                f"FSM {name!r} needs a transition relation or a partition"
+            )
+        self._transition = transition
+        self.partition = partition
+        if trans_mode is None:
+            trans_mode = TRANS_PARTITIONED if partition is not None else TRANS_MONO
+        validate_trans_mode(trans_mode)
+        if trans_mode == TRANS_PARTITIONED and partition is None:
+            raise ModelError(
+                f"FSM {name!r}: partitioned mode requires a partition"
+            )
+        self.trans_mode = trans_mode
         self.init = init
         self.signals = dict(signals)
         self.signal_exprs = dict(signal_exprs) if signal_exprs else None
@@ -129,6 +161,19 @@ class FSM:
     # ------------------------------------------------------------------
     # Constructors for common shapes
     # ------------------------------------------------------------------
+
+    @property
+    def transition(self) -> Function:
+        """The monolithic transition relation.
+
+        In partitioned mode this is conjoined lazily from the partition on
+        first access — building it is exactly the cost partitioned image
+        execution avoids, so hot paths never touch this property unless
+        ``trans_mode == "mono"``.
+        """
+        if self._transition is None:
+            self._transition = self.partition.monolithic()
+        return self._transition
 
     @property
     def current_var_ids(self) -> List[int]:
@@ -213,15 +258,32 @@ class FSM:
     # ------------------------------------------------------------------
 
     def image(self, states: Function) -> Function:
-        """One-step forward image — the paper's ``forward(S0)``."""
-        over_next = self.transition.and_exists(states, self._cur_list)
+        """One-step forward image — the paper's ``forward(S0)``.
+
+        Partitioned mode runs the early-quantification ``and_exists`` chain
+        over the per-latch conjuncts; mono mode the single relational
+        product against the monolithic relation.  Both compute the same
+        set, and BDD canonicity makes the results the same node.
+        """
+        if self.trans_mode == TRANS_PARTITIONED:
+            over_next = self.partition.relprod(states, self._cur_list)
+        else:
+            over_next = self.transition.and_exists(states, self._cur_list)
         return over_next.rename(self._next_to_cur)
 
     forward = image
 
     def preimage(self, states: Function) -> Function:
-        """One-step backward image (states with some successor in ``states``)."""
+        """One-step backward image (states with some successor in ``states``).
+
+        Partitioning pays off most here: each conjunct mentions exactly one
+        next-state variable, so every chain step retires one quantified
+        variable immediately (free-input next copies never even enter the
+        product — they are quantified out of the renamed set up front).
+        """
         over_next = states.rename(self._cur_to_next)
+        if self.trans_mode == TRANS_PARTITIONED:
+            return self.partition.relprod(over_next, self._next_list)
         return self.transition.and_exists(over_next, self._next_list)
 
     def reachable_from(self, start: Function) -> Function:
@@ -349,5 +411,6 @@ class FSM:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<FSM {self.name!r} vars={len(self.state_vars)} "
-            f"inputs={len(self.inputs)} signals={len(self.signals)}>"
+            f"inputs={len(self.inputs)} signals={len(self.signals)} "
+            f"trans={self.trans_mode}>"
         )

@@ -7,9 +7,15 @@ the existing :class:`~repro.fsm.builder.CircuitBuilder` by
 :func:`elaborate`, and round-tripped by :func:`module_to_str`.
 
     >>> from repro.lang import parse_module, elaborate
-    >>> model = elaborate(parse_module(source))
-    >>> report = CoverageEstimator(model.fsm).estimate(
-    ...     model.specs, observed=model.observed)
+    >>> model = elaborate(parse_module(
+    ...     "MODULE blinker VAR x : boolean; ASSIGN next(x) := !x; "
+    ...     "SPEC AG (x | !x); OBSERVED x;"))
+    >>> model.fsm.name, model.observed
+    ('blinker', ['x'])
+
+Feed ``model.specs``/``model.observed``/``model.dont_care`` to
+:class:`~repro.coverage.estimator.CoverageEstimator` for the full
+pipeline (see the README quickstart).
 """
 
 from .ast import Module

@@ -58,8 +58,9 @@ class ElaboratedModel:
 
 
 class _Elaborator:
-    def __init__(self, module: Module):
+    def __init__(self, module: Module, trans: str = "partitioned"):
         self.module = module
+        self.trans = trans
         self.filename = module.filename or "<module>"
         #: word name -> LSB-first bit names (vars and word-sum defines)
         self.word_bits: Dict[str, List[str]] = {}
@@ -338,7 +339,7 @@ class _Elaborator:
 
         return ElaboratedModel(
             module=module,
-            fsm=builder.build(),
+            fsm=builder.build(trans=self.trans),
             specs=specs,
             observed=list(module.observed),
             dont_care=module.dont_care,
@@ -363,11 +364,15 @@ class _Elaborator:
             builder.define(define.name, value)
 
 
-def elaborate(module: Module) -> ElaboratedModel:
+def elaborate(module: Module, trans: str = "partitioned") -> ElaboratedModel:
     """Lower ``module`` to an :class:`ElaboratedModel` (FSM + properties).
+
+    ``trans`` selects the FSM's transition-relation mode — ``"partitioned"``
+    (default, per-latch conjuncts with early quantification) or ``"mono"``
+    (one relation BDD); see :meth:`~repro.fsm.builder.CircuitBuilder.build`.
 
     Raises :class:`~repro.errors.ParseError` with source location on any
     validation failure (unknown signals, width mismatches, non-exhaustive
     cases, init on a free input, ...).
     """
-    return _Elaborator(module).run()
+    return _Elaborator(module, trans=trans).run()

@@ -10,6 +10,12 @@ Satisfaction sets are memoised per formula object; the coverage estimator
 shares a checker instance, which implements the paper's remark that results
 computed during verification can be reused during coverage estimation
 (Section 3, complexity paragraph).
+
+Every path quantifier bottoms out in :meth:`FSM.preimage`, so the checker
+transparently inherits the FSM's transition-relation mode: on a
+partitioned machine (the default) each ``EX`` step runs the scheduled
+early-quantification chain instead of one product against a monolithic
+relation BDD — see :mod:`repro.fsm.partition` and ``docs/performance.md``.
 """
 
 from __future__ import annotations

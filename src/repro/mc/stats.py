@@ -48,9 +48,12 @@ class WorkStats:
 class WorkMeter:
     """Context manager measuring time and node allocation on a manager.
 
+    >>> from repro.bdd import BDDManager
+    >>> manager = BDDManager(["x"])
     >>> with WorkMeter(manager) as meter:
-    ...     run_model_checking()
-    >>> meter.stats.seconds  # doctest: +SKIP
+    ...     _ = manager.var("x")
+    >>> meter.stats.nodes_created
+    1
     """
 
     def __init__(self, manager: BDDManager):

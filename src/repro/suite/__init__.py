@@ -6,9 +6,13 @@ property stage, and observed signals; the registry
 files discovered on disk; and the runner (:mod:`repro.suite.runner`) fans
 jobs out across a process pool and collects JSON-ready results.
 
-    >>> from repro.suite import default_jobs, run_jobs, suite_report
-    >>> results = run_jobs(default_jobs("examples"), max_workers=4)
-    >>> report = suite_report(results)
+    >>> from repro.suite import builtin_jobs, run_jobs, suite_report
+    >>> jobs = builtin_jobs()
+    >>> jobs[0].kind, jobs[0].trans
+    ('builtin', 'partitioned')
+
+Execute with ``run_jobs(jobs, max_workers=4)`` and serialise with
+``suite_report(results)`` — see the README's suite-runner section.
 """
 
 from .jobs import CoverageJob, JobResult

@@ -27,7 +27,11 @@ class CoverageJob:
     circuit (``target`` + ``stage`` + ``buggy``) inside the worker process;
     ``"rml"`` parses and elaborates ``source`` (with ``path`` as the
     file name for error messages).  Observed signals and don't-cares come
-    from the target definition or the module text respectively.
+    from the target definition or the module text respectively.  ``trans``
+    is the transition-relation mode the worker builds the FSM with
+    (``"partitioned"`` — the default — or ``"mono"``); both modes produce
+    identical coverage results, the mode only changes how images are
+    computed.
     """
 
     name: str
@@ -37,13 +41,15 @@ class CoverageJob:
     buggy: bool = False
     path: Optional[str] = None
     source: Optional[str] = None
+    trans: str = "partitioned"
 
     def describe(self) -> str:
+        trans = "" if self.trans == "partitioned" else f" --trans {self.trans}"
         if self.kind == KIND_RML:
-            return self.path or f"<rml:{self.name}>"
+            return (self.path or f"<rml:{self.name}>") + trans
         stage = f" --stage {self.stage}" if self.stage else ""
         buggy = " --buggy" if self.buggy else ""
-        return f"{self.target}{stage}{buggy}"
+        return f"{self.target}{stage}{buggy}{trans}"
 
 
 @dataclass
@@ -61,6 +67,7 @@ class JobResult:
     status: str
     model: Optional[str] = None
     stage: Optional[str] = None
+    trans: str = "partitioned"
     path: Optional[str] = None
     observed: List[str] = field(default_factory=list)
     properties: int = 0
@@ -85,6 +92,7 @@ class JobResult:
             "status": self.status,
             "model": self.model,
             "stage": self.stage,
+            "trans": self.trans,
             "path": self.path,
             "observed": list(self.observed),
             "properties": self.properties,

@@ -34,6 +34,7 @@ from ..circuits import (
     priority_buffer_lo_augmented_properties,
     priority_buffer_lo_properties,
 )
+from ..fsm.partition import TRANS_MODES, TRANS_PARTITIONED
 from .jobs import KIND_BUILTIN, KIND_RML, CoverageJob
 
 __all__ = [
@@ -50,8 +51,8 @@ __all__ = [
 BuildResult = Tuple[object, list, object, Optional[str]]
 
 
-def _counter(stage: Optional[str], buggy: bool) -> BuildResult:
-    fsm = build_counter()
+def _counter(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
+    fsm = build_counter(trans=trans)
     if stage == "partial":
         props = counter_partial_properties()
     else:
@@ -59,13 +60,13 @@ def _counter(stage: Optional[str], buggy: bool) -> BuildResult:
     return fsm, props, "count", None
 
 
-def _buffer_hi(stage: Optional[str], buggy: bool) -> BuildResult:
-    fsm = build_priority_buffer(buggy=buggy)
+def _buffer_hi(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
+    fsm = build_priority_buffer(buggy=buggy, trans=trans)
     return fsm, priority_buffer_hi_properties(), "hi", None
 
 
-def _buffer_lo(stage: Optional[str], buggy: bool) -> BuildResult:
-    fsm = build_priority_buffer(buggy=buggy)
+def _buffer_lo(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
+    fsm = build_priority_buffer(buggy=buggy, trans=trans)
     if stage == "augmented":
         props = priority_buffer_lo_augmented_properties()
     else:
@@ -73,8 +74,8 @@ def _buffer_lo(stage: Optional[str], buggy: bool) -> BuildResult:
     return fsm, props, "lo", None
 
 
-def _queue_wrap(stage: Optional[str], buggy: bool) -> BuildResult:
-    fsm = build_circular_queue()
+def _queue_wrap(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
+    fsm = build_circular_queue(trans=trans)
     stage = stage or "initial"
     if stage == "final":
         props = circular_queue_wrap_properties(stage="extended")
@@ -84,21 +85,26 @@ def _queue_wrap(stage: Optional[str], buggy: bool) -> BuildResult:
     return fsm, props, "wrap", None
 
 
-def _queue_full(stage: Optional[str], buggy: bool) -> BuildResult:
-    return build_circular_queue(), circular_queue_full_properties(), "full", None
-
-
-def _queue_empty(stage: Optional[str], buggy: bool) -> BuildResult:
+def _queue_full(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
     return (
-        build_circular_queue(),
+        build_circular_queue(trans=trans),
+        circular_queue_full_properties(),
+        "full",
+        None,
+    )
+
+
+def _queue_empty(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
+    return (
+        build_circular_queue(trans=trans),
         circular_queue_empty_properties(),
         "empty",
         None,
     )
 
 
-def _pipeline(stage: Optional[str], buggy: bool) -> BuildResult:
-    fsm = build_pipeline()
+def _pipeline(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
+    fsm = build_pipeline(trans=trans)
     if stage == "augmented":
         props = pipeline_augmented_properties()
     else:
@@ -111,7 +117,7 @@ class BuiltinTarget:
     """One registered built-in circuit/signal target."""
 
     name: str
-    builder: Callable[[Optional[str], bool], BuildResult]
+    builder: Callable[[Optional[str], bool, str], BuildResult]
     stages: Tuple[str, ...]
     description: str
 
@@ -142,12 +148,17 @@ BUILTIN_TARGETS: Dict[str, BuiltinTarget] = {
 
 
 def build_builtin(
-    name: str, stage: Optional[str] = None, buggy: bool = False
+    name: str,
+    stage: Optional[str] = None,
+    buggy: bool = False,
+    trans: str = TRANS_PARTITIONED,
 ) -> BuildResult:
     """Construct ``(fsm, properties, observed, dont_care)`` for a target.
 
-    Raises :class:`ValueError` for an unknown target or a stage outside the
-    target's stage list.
+    ``trans`` selects the transition-relation mode of the built FSM
+    (``"partitioned"`` or ``"mono"``).  Raises :class:`ValueError` for an
+    unknown target, a stage outside the target's stage list, or an unknown
+    transition mode.
     """
     target = BUILTIN_TARGETS.get(name)
     if target is None:
@@ -158,7 +169,12 @@ def build_builtin(
             f"invalid stage {stage!r} for target {name!r} "
             f"(valid stages: {valid})"
         )
-    return target.builder(stage, buggy)
+    if trans not in TRANS_MODES:
+        raise ValueError(
+            f"unknown transition mode {trans!r} "
+            f"(valid modes: {', '.join(TRANS_MODES)})"
+        )
+    return target.builder(stage, buggy, trans)
 
 
 # ----------------------------------------------------------------------
@@ -166,7 +182,7 @@ def build_builtin(
 # ----------------------------------------------------------------------
 
 
-def builtin_jobs() -> List[CoverageJob]:
+def builtin_jobs(trans: str = TRANS_PARTITIONED) -> List[CoverageJob]:
     """One job per (builtin target, stage) pair — stage-less targets get a
     single job at their default suite."""
     jobs: List[CoverageJob] = []
@@ -180,6 +196,7 @@ def builtin_jobs() -> List[CoverageJob]:
                     kind=KIND_BUILTIN,
                     target=target.name,
                     stage=stage,
+                    trans=trans,
                 )
             )
     return jobs
@@ -190,7 +207,7 @@ def discover_rml(directory: "str | Path") -> List[Path]:
     return sorted(Path(directory).glob("*.rml"))
 
 
-def rml_job(path: "str | Path") -> CoverageJob:
+def rml_job(path: "str | Path", trans: str = TRANS_PARTITIONED) -> CoverageJob:
     """A job running one ``.rml`` file (source is read eagerly so the job
     stays self-contained when shipped to a worker process)."""
     path = Path(path)
@@ -199,14 +216,17 @@ def rml_job(path: "str | Path") -> CoverageJob:
         kind=KIND_RML,
         path=str(path),
         source=path.read_text(),
+        trans=trans,
     )
 
 
 def default_jobs(
-    rml_dir: "str | Path | None" = None, include_builtins: bool = True
+    rml_dir: "str | Path | None" = None,
+    include_builtins: bool = True,
+    trans: str = TRANS_PARTITIONED,
 ) -> List[CoverageJob]:
     """The merged registry: builtin jobs plus discovered ``.rml`` jobs."""
-    jobs: List[CoverageJob] = builtin_jobs() if include_builtins else []
+    jobs: List[CoverageJob] = builtin_jobs(trans) if include_builtins else []
     if rml_dir is not None:
-        jobs.extend(rml_job(path) for path in discover_rml(rml_dir))
+        jobs.extend(rml_job(path, trans) for path in discover_rml(rml_dir))
     return jobs

@@ -44,11 +44,15 @@ def _materialize(job: CoverageJob):
     if job.kind == KIND_BUILTIN:
         if job.target is None:
             raise ValueError(f"builtin job {job.name!r} has no target")
-        return build_builtin(job.target, stage=job.stage, buggy=job.buggy)
+        return build_builtin(
+            job.target, stage=job.stage, buggy=job.buggy, trans=job.trans
+        )
     if job.kind == KIND_RML:
         if job.source is None:
             raise ValueError(f"rml job {job.name!r} has no source")
-        model = elaborate(parse_module(job.source, filename=job.path))
+        model = elaborate(
+            parse_module(job.source, filename=job.path), trans=job.trans
+        )
         if not model.observed:
             raise ValueError(
                 f"{job.path or job.name}: module {model.module.name!r} "
@@ -89,6 +93,7 @@ def execute_job(job: CoverageJob) -> JobResult:
                 status="fail",
                 model=fsm.name,
                 stage=job.stage,
+                trans=job.trans,
                 path=job.path,
                 observed=observed_list,
                 properties=len(props),
@@ -102,6 +107,7 @@ def execute_job(job: CoverageJob) -> JobResult:
             status="ok",
             model=fsm.name,
             stage=job.stage,
+            trans=job.trans,
             path=job.path,
             observed=observed_list,
             properties=len(report.per_property),
@@ -118,6 +124,7 @@ def execute_job(job: CoverageJob) -> JobResult:
             kind=job.kind,
             status="error",
             stage=job.stage,
+            trans=job.trans,
             path=job.path,
             error=str(exc),
             seconds=time.perf_counter() - started,

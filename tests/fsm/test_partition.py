@@ -1,0 +1,250 @@
+"""Unit and property tests for :mod:`repro.fsm.partition`.
+
+Three layers:
+
+* schedule construction — every quantified variable placed exactly once, at
+  the earliest legal step (the last scheduled conjunct mentioning it), with
+  unmentioned variables pre-quantified;
+* degenerate shapes — single conjunct, a variable shared by every
+  conjunct, empty quantification sets;
+* ``TransitionPartition.relprod`` against the ground truth
+  ``exists V . (S & T1 & ... & Tk)`` computed monolithically, both on
+  random function sets (hypothesis) and on real circuits.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDDManager, Function
+from repro.circuits import build_circular_queue, build_counter
+from repro.errors import ModelError
+from repro.fsm import TransitionPartition, early_quantification_schedule
+from repro.fsm.partition import validate_trans_mode
+
+
+# ----------------------------------------------------------------------
+# Schedule construction
+# ----------------------------------------------------------------------
+
+
+def _check_schedule(supports, quantify, schedule):
+    """The invariants every legal early-quantification schedule satisfies."""
+    supports = [frozenset(s) for s in supports]
+    quantify = frozenset(quantify)
+    # Permutation: every conjunct appears exactly once.
+    assert sorted(step.conjunct for step in schedule.steps) == list(
+        range(len(supports))
+    )
+    # Exactness: every quantified variable is quantified exactly once.
+    placed = list(schedule.prequantify)
+    for step in schedule.steps:
+        placed.extend(step.quantify)
+    assert sorted(placed) == sorted(quantify)
+    # Pre-quantified variables are mentioned by no conjunct.
+    mentioned = frozenset().union(*supports) if supports else frozenset()
+    assert frozenset(schedule.prequantify) == quantify - mentioned
+    # Earliest-legal placement: a variable is quantified at the LAST step
+    # whose conjunct mentions it — earlier would be illegal (the variable
+    # still occurs downstream), later would keep it alive needlessly.
+    for i, step in enumerate(schedule.steps):
+        for var in step.quantify:
+            # Legal: no later conjunct mentions it ...
+            for later in schedule.steps[i + 1:]:
+                assert var not in supports[later.conjunct], (
+                    f"variable {var} quantified at step {i} but mentioned "
+                    f"by later conjunct {later.conjunct}"
+                )
+            # ... and earliest: it is mentioned AT its own step.
+            assert var in supports[step.conjunct]
+
+
+def test_schedule_places_each_variable_at_last_mention():
+    supports = [frozenset({0, 1, 10}), frozenset({1, 2, 11}), frozenset({2, 12})]
+    quantify = [0, 1, 2, 3]
+    schedule = early_quantification_schedule(supports, quantify)
+    _check_schedule(supports, quantify, schedule)
+    # Variable 3 is mentioned nowhere: quantified straight out of the set.
+    assert schedule.prequantify == (3,)
+    # Whatever the order, variable 0 (only in conjunct 0) leaves at
+    # conjunct 0's step, and 2 at the later of conjuncts 1/2.
+    step_of = {step.conjunct: step for step in schedule.steps}
+    assert 0 in step_of[0].quantify
+    position = {step.conjunct: i for i, step in enumerate(schedule.steps)}
+    assert 2 in schedule.steps[max(position[1], position[2])].quantify
+
+
+def test_schedule_single_conjunct():
+    """Degenerate: one latch — the whole quantification happens in one step."""
+    supports = [frozenset({0, 1, 2})]
+    schedule = early_quantification_schedule(supports, [0, 1])
+    _check_schedule(supports, [0, 1], schedule)
+    assert len(schedule.steps) == 1
+    assert schedule.steps[0].quantify == (0, 1)
+    assert schedule.prequantify == ()
+
+
+def test_schedule_variable_shared_by_all_conjuncts():
+    """Degenerate: a variable in every support can only leave at the end."""
+    supports = [frozenset({0, 5}), frozenset({0, 6}), frozenset({0, 7})]
+    schedule = early_quantification_schedule(supports, [0])
+    _check_schedule(supports, [0], schedule)
+    assert schedule.steps[-1].quantify == (0,)
+    for step in schedule.steps[:-1]:
+        assert step.quantify == ()
+
+
+def test_schedule_empty_quantification():
+    supports = [frozenset({0}), frozenset({1})]
+    schedule = early_quantification_schedule(supports, [])
+    assert schedule.prequantify == ()
+    assert all(step.quantify == () for step in schedule.steps)
+    assert schedule.quantified_vars() == frozenset()
+
+
+def test_schedule_disjoint_supports_quantify_immediately():
+    """With disjoint conjuncts every variable retires at its own step —
+    the live quantified set never exceeds one conjunct's variables."""
+    supports = [frozenset({i, 10 + i}) for i in range(6)]
+    quantify = list(range(6))
+    schedule = early_quantification_schedule(supports, quantify)
+    _check_schedule(supports, quantify, schedule)
+    for step in schedule.steps:
+        assert step.quantify == (step.conjunct,)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    supports=st.lists(
+        st.frozensets(st.integers(min_value=0, max_value=9), max_size=5),
+        min_size=1,
+        max_size=6,
+    ),
+    quantify=st.frozensets(st.integers(min_value=0, max_value=9), max_size=8),
+)
+def test_schedule_invariants_random(supports, quantify):
+    schedule = early_quantification_schedule(supports, sorted(quantify))
+    _check_schedule(supports, quantify, schedule)
+
+
+# ----------------------------------------------------------------------
+# TransitionPartition.relprod vs monolithic ground truth
+# ----------------------------------------------------------------------
+
+
+def _random_function(manager, rng, names):
+    """A random function as OR of random cubes."""
+    out = Function.false(manager)
+    for _ in range(rng.randint(1, 4)):
+        cube = Function.true(manager)
+        for name in names:
+            choice = rng.randint(0, 2)
+            if choice == 0:
+                cube = cube & Function.var(manager, name)
+            elif choice == 1:
+                cube = cube & ~Function.var(manager, name)
+        out = out | cube
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_relprod_matches_monolithic_random(seed):
+    import random
+
+    rng = random.Random(seed)
+    names = ["a", "b", "c", "d", "e", "f"]
+    manager = BDDManager(names)
+    conjuncts = [
+        _random_function(manager, rng, rng.sample(names, rng.randint(1, 4)))
+        for _ in range(rng.randint(1, 4))
+    ]
+    states = _random_function(manager, rng, rng.sample(names, 3))
+    quantify = [
+        manager.var_id(n) for n in rng.sample(names, rng.randint(0, 6))
+    ]
+
+    partition = TransitionPartition(conjuncts)
+    via_chain = partition.relprod(states, quantify)
+
+    mono = states
+    for conjunct in conjuncts:
+        mono = mono & conjunct
+    ground_truth = mono.exist(quantify)
+    assert via_chain == ground_truth
+
+
+@pytest.mark.parametrize(
+    "build", [build_counter, build_circular_queue], ids=["counter", "queue"]
+)
+def test_relprod_matches_monolithic_on_circuits(build):
+    fsm = build()
+    assert fsm.partition is not None
+    mono = fsm.transition  # lazily conjoined from the partition
+    for states in (fsm.init, fsm.true_set(), fsm.image(fsm.init)):
+        direct = mono.and_exists(states, fsm.current_var_ids)
+        chained = fsm.partition.relprod(states, fsm.current_var_ids)
+        assert direct == chained
+
+
+def test_partition_schedule_cached_per_variable_set():
+    fsm = build_counter()
+    s1 = fsm.partition.schedule(fsm.current_var_ids)
+    s2 = fsm.partition.schedule(list(reversed(fsm.current_var_ids)))
+    assert s1 is s2  # keyed by frozenset, not order
+    s3 = fsm.partition.schedule(fsm.next_var_ids)
+    assert s3 is not s1
+
+
+def test_preimage_schedule_retires_one_next_var_per_step():
+    """Functional circuits: conjunct i mentions exactly one next variable,
+    so the preimage schedule quantifies exactly it at that step and the
+    free inputs' next copies up front."""
+    fsm = build_circular_queue()
+    schedule = fsm.partition.schedule(fsm.next_var_ids)
+    input_nexts = sorted(fsm.next_ids[v] for v in fsm.inputs)
+    assert sorted(schedule.prequantify) == input_nexts
+    for step in schedule.steps:
+        assert len(step.quantify) == 1
+
+
+# ----------------------------------------------------------------------
+# Validation / errors
+# ----------------------------------------------------------------------
+
+
+def test_partition_rejects_empty():
+    with pytest.raises(ModelError):
+        TransitionPartition([])
+
+
+def test_partition_rejects_mixed_managers():
+    m1, m2 = BDDManager(["x"]), BDDManager(["x"])
+    with pytest.raises(ModelError):
+        TransitionPartition([Function.var(m1, "x"), Function.var(m2, "x")])
+
+
+def test_partition_rejects_label_mismatch():
+    manager = BDDManager(["x"])
+    with pytest.raises(ModelError):
+        TransitionPartition([Function.var(manager, "x")], labels=["a", "b"])
+
+
+def test_validate_trans_mode():
+    assert validate_trans_mode("mono") == "mono"
+    assert validate_trans_mode("partitioned") == "partitioned"
+    with pytest.raises(ModelError):
+        validate_trans_mode("magic")
+
+
+def test_builder_rejects_unknown_trans_mode():
+    from repro.fsm import CircuitBuilder
+
+    b = CircuitBuilder("t")
+    b.latch("x", init=False, next_="!x")
+    with pytest.raises(ModelError):
+        b.build(trans="nope")
+
+
+def test_partition_labels_are_latch_names():
+    fsm = build_counter()
+    assert fsm.partition.labels == fsm.latches

@@ -1,0 +1,54 @@
+"""The docs stay navigable: every relative link in README.md and docs/*.md
+resolves, via the same checker CI runs (``tools/check_links.py``)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", ROOT / "tools" / "check_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_tree_exists():
+    for page in ("architecture.md", "paper-map.md", "rml-reference.md",
+                 "performance.md"):
+        assert (ROOT / "docs" / page).is_file(), f"missing docs/{page}"
+
+
+def test_readme_links_to_every_docs_page():
+    readme = (ROOT / "README.md").read_text()
+    for page in ("architecture.md", "paper-map.md", "rml-reference.md",
+                 "performance.md"):
+        assert f"docs/{page}" in readme, f"README does not link docs/{page}"
+
+
+def test_no_broken_relative_links():
+    checker = _load_checker()
+    failures = {}
+    for path in checker.default_files(ROOT):
+        links = checker.broken_links(path)
+        if links:
+            failures[str(path.relative_to(ROOT))] = links
+    assert not failures, f"broken links: {failures}"
+
+
+def test_checker_flags_broken_links(tmp_path):
+    checker = _load_checker()
+    page = tmp_path / "page.md"
+    page.write_text(
+        "[ok](page.md) [gone](missing.md) [web](https://example.com) "
+        "[anchor](#here) [frag](page.md#sec) [gone-frag](nope.md#sec)\n"
+    )
+    broken = checker.broken_links(page)
+    assert [target for _, target in broken] == ["missing.md", "nope.md#sec"]
+    assert checker.main([str(page)]) == 1
+    page.write_text("[ok](page.md)\n")
+    assert checker.main([str(page)]) == 0

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fail CI on broken relative links in README.md and docs/*.md.
+
+Checks every inline markdown link ``[text](target)`` whose target is a
+relative path: the referenced file or directory must exist (relative to
+the file containing the link).  External URLs (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#section``) are ignored; a
+``path#fragment`` target is checked for the path part only.
+
+Usage::
+
+    python tools/check_links.py            # check README.md + docs/*.md
+    python tools/check_links.py FILE...    # check the given files
+
+Exit code 0 when every link resolves, 1 otherwise (each broken link is
+reported as ``file:line: broken link -> target``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline markdown links: [text](target).  Deliberately simple — the docs
+#: do not use reference-style links or angle-bracket targets.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Target prefixes that are not local files.
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def default_files(root: Path) -> List[Path]:
+    """README.md plus every markdown file under docs/."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def iter_links(path: Path) -> Iterable[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every inline link in ``path``."""
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def broken_links(path: Path) -> List[Tuple[int, str]]:
+    """The links of ``path`` whose relative targets do not exist."""
+    out: List[Tuple[int, str]] = []
+    for lineno, target in iter_links(path):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        candidate = target.split("#", 1)[0]
+        if not candidate:
+            continue
+        if not (path.parent / candidate).exists():
+            out.append((lineno, target))
+    return out
+
+
+def main(argv: List[str]) -> int:
+    root = Path(__file__).resolve().parents[1]
+    files = [Path(a) for a in argv] if argv else default_files(root)
+    failures = 0
+    checked = 0
+    for path in files:
+        links = broken_links(path)
+        checked += sum(1 for _ in iter_links(path))
+        for lineno, target in links:
+            print(f"{path}:{lineno}: broken link -> {target}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"docs: check OK ({checked} links in {len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
