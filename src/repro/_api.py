@@ -1,7 +1,15 @@
 """Aggregated public API, lazily re-exported as the top-level ``repro``
 namespace (see ``repro/__init__.py``)."""
 
-from .bdd import BDDManager, Function, set_order, sift, swap_adjacent, to_dot
+from .bdd import (
+    BDDManager,
+    Function,
+    ResourcePolicy,
+    set_order,
+    sift,
+    swap_adjacent,
+    to_dot,
+)
 from .circuits import (
     DEFAULT_CAPACITY,
     DEFAULT_DEPTH,
@@ -96,7 +104,8 @@ from .suite import (
 
 __all__ = [
     # bdd
-    "BDDManager", "Function", "to_dot", "sift", "set_order", "swap_adjacent",
+    "BDDManager", "Function", "ResourcePolicy", "to_dot", "sift",
+    "set_order", "swap_adjacent",
     # expr / ctl
     "Expr", "parse_expr", "expr_to_str", "evaluate",
     "CtlFormula", "parse_ctl", "ctl_to_str", "normalize_for_coverage",

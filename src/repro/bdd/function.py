@@ -30,6 +30,10 @@ class Function:
         self.manager = manager
         self.node = node
         manager.register_external(self)
+        # Wrapper creation is the engine's *safe point*: the freshly wrapped
+        # result is now GC-rooted and no raw-node traversal is in flight, so
+        # the resource manager may collect / evict / reorder here.
+        manager.checkpoint()
 
     # -- constructors ---------------------------------------------------
 

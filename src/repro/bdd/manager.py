@@ -12,6 +12,13 @@ store *levels* rather than variable ids so that variable reordering can swap
 adjacent levels in place without invalidating outstanding node references
 (see :mod:`repro.bdd.reorder`).
 
+Every traversal in this module is **iterative** (explicit work stacks), so
+the engine's depth limit is available memory, not Python's recursion limit:
+a 1400-level BDD chain is as routine as a 14-level one.  Resource usage is
+governed by a :class:`~repro.bdd.policy.ResourcePolicy`: automatic
+mark-and-sweep collection and cache eviction run at *safe points* (see
+:meth:`BDDManager.checkpoint`), never in the middle of an operation.
+
 The user-facing wrapper with operator overloading lives in
 :mod:`repro.bdd.function`; this module works on raw node ids and is the
 layer the FSM/model-checking code talks to for performance.
@@ -19,10 +26,12 @@ layer the FSM/model-checking code talks to for performance.
 
 from __future__ import annotations
 
+import time
 import weakref
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import BDDError
+from .policy import DEFAULT_POLICY, ResourcePolicy
 
 #: Pseudo-level assigned to the two terminal nodes; orders after any variable.
 TERMINAL_LEVEL = 1 << 30
@@ -35,6 +44,12 @@ TRUE = 1
 _OP_AND = 0
 _OP_OR = 1
 _OP_XOR = 2
+
+# Frame phases of the iterative relational product.
+_AE_EXPAND = 0
+_AE_AFTER_LOW = 1
+_AE_AFTER_HIGH = 2
+_AE_AFTER_BOTH = 3
 
 
 class BDDManager:
@@ -49,9 +64,17 @@ class BDDManager:
     var_names:
         Optional initial variable names, declared in order (first name gets
         the topmost level).
+    policy:
+        Resource-management thresholds (automatic GC, cache caps, the
+        auto-sift hook).  Defaults to
+        :data:`~repro.bdd.policy.DEFAULT_POLICY`.
     """
 
-    def __init__(self, var_names: Optional[Iterable[str]] = None):
+    def __init__(
+        self,
+        var_names: Optional[Iterable[str]] = None,
+        policy: Optional[ResourcePolicy] = None,
+    ):
         # Parallel node arrays; slots 0/1 are the terminals.  The terminal
         # low/high fields are never read but keep the arrays aligned.
         self._level: List[int] = [TERMINAL_LEVEL, TERMINAL_LEVEL]
@@ -77,17 +100,37 @@ class BDDManager:
         self._relprod_cache: Dict[Tuple[int, int, int], int] = {}
         self._compose_cache: Dict[Tuple[int, int], int] = {}
         self._compose_token = 0
+        self._compose_purged_token = 0
+        self._compose_max_level = -1
         # Registered quantification profiles: canonical tuple of levels -> id.
         self._quant_profiles: Dict[Tuple[int, ...], int] = {}
         self._quant_profile_sets: List[frozenset] = []
         self._quant_profile_max: List[int] = []
 
         # Live external references (Function wrappers), for garbage marking.
-        self._external: "weakref.WeakSet" = weakref.WeakSet()
+        # Keyed by wrapper *identity*: Function equality is structural (two
+        # wrappers for the same node compare equal), so a WeakSet would
+        # collapse equal wrappers into one entry and drop the root when the
+        # stored one died — recycling nodes a live wrapper still denotes.
+        self._external: Dict[int, "weakref.ref"] = {}
+        # Nodes pinned by in-flight enumerations (node -> pin count): cube
+        # iterators hold raw node ids across yields, so their roots must
+        # survive any GC a consumer triggers between items.
+        self._pinned: Dict[int, int] = {}
+
+        # Resource management.
+        self.policy: ResourcePolicy = policy if policy is not None else DEFAULT_POLICY
+        self._gc_trigger = self.policy.gc_node_threshold
+        self._reorder_trigger = self.policy.reorder_node_threshold
+        self._in_checkpoint = False
 
         # Statistics.
         self._created_nodes = 2
         self._gc_runs = 0
+        self._gc_seconds = 0.0
+        self._gc_freed_total = 0
+        self._reorder_runs = 0
+        self._peak_nodes = 2
 
         if var_names is not None:
             for name in var_names:
@@ -223,31 +266,55 @@ class BDDManager:
 
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else: ``(f & g) | (~f & h)``, the universal connective."""
-        if f == TRUE:
-            return g
-        if f == FALSE:
-            return h
-        if g == h:
-            return g
-        if g == TRUE and h == FALSE:
-            return f
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            return cached
-        level = min(self._level[f], self._level[g], self._level[h])
-        f0, f1 = self._cofactors(f, level)
-        g0, g1 = self._cofactors(g, level)
-        h0, h1 = self._cofactors(h, level)
-        result = self._mk(level, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
-        self._ite_cache[key] = result
-        return result
-
-    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
-        """Shannon cofactors of ``node`` with respect to ``level``."""
-        if self._level[node] == level:
-            return self._low[node], self._high[node]
-        return node, node
+        level_arr = self._level
+        low_arr = self._low
+        high_arr = self._high
+        cache = self._ite_cache
+        tasks: List[Tuple[int, int, int, bool]] = [(f, g, h, False)]
+        results: List[int] = []
+        while tasks:
+            f, g, h, combine = tasks.pop()
+            if combine:
+                high = results.pop()
+                low = results.pop()
+                level = min(level_arr[f], level_arr[g], level_arr[h])
+                result = self._mk(level, low, high)
+                cache[(f, g, h)] = result
+                results.append(result)
+                continue
+            if f == TRUE:
+                results.append(g)
+                continue
+            if f == FALSE:
+                results.append(h)
+                continue
+            if g == h:
+                results.append(g)
+                continue
+            if g == TRUE and h == FALSE:
+                results.append(f)
+                continue
+            cached = cache.get((f, g, h))
+            if cached is not None:
+                results.append(cached)
+                continue
+            level = min(level_arr[f], level_arr[g], level_arr[h])
+            if level_arr[f] == level:
+                f0, f1 = low_arr[f], high_arr[f]
+            else:
+                f0 = f1 = f
+            if level_arr[g] == level:
+                g0, g1 = low_arr[g], high_arr[g]
+            else:
+                g0 = g1 = g
+            if level_arr[h] == level:
+                h0, h1 = low_arr[h], high_arr[h]
+            else:
+                h0 = h1 = h
+            tasks.append((f, g, h, True))
+            tasks.append((f1, g1, h1, False))
+            tasks.append((f0, g0, h0, False))
+        return results[0]
 
     def apply_not(self, f: int) -> int:
         """Negation (O(size) without complement edges, memoised)."""
@@ -255,87 +322,127 @@ class BDDManager:
             return TRUE
         if f == TRUE:
             return FALSE
-        cached = self._not_cache.get(f)
+        cache = self._not_cache
+        cached = cache.get(f)
         if cached is not None:
             return cached
-        result = self._mk(
-            self._level[f], self.apply_not(self._low[f]), self.apply_not(self._high[f])
-        )
-        self._not_cache[f] = result
-        # Negation is an involution: seed the reverse direction too.
-        self._not_cache[result] = f
-        return result
+        level_arr = self._level
+        tasks: List[Tuple[int, bool]] = [(f, False)]
+        results: List[int] = []
+        while tasks:
+            f, combine = tasks.pop()
+            if combine:
+                high = results.pop()
+                low = results.pop()
+                result = self._mk(level_arr[f], low, high)
+                cache[f] = result
+                # Negation is an involution: seed the reverse direction too.
+                cache[result] = f
+                results.append(result)
+                continue
+            if f == FALSE:
+                results.append(TRUE)
+                continue
+            if f == TRUE:
+                results.append(FALSE)
+                continue
+            cached = cache.get(f)
+            if cached is not None:
+                results.append(cached)
+                continue
+            tasks.append((f, True))
+            tasks.append((self._high[f], False))
+            tasks.append((self._low[f], False))
+        return results[0]
+
+    def _apply_bin(self, op: int, f: int, g: int) -> int:
+        """Iterative core shared by the three memoised binary operators."""
+        level_arr = self._level
+        low_arr = self._low
+        high_arr = self._high
+        cache = self._bin_cache
+        tasks: List[Tuple[int, int, bool]] = [(f, g, False)]
+        results: List[int] = []
+        while tasks:
+            f, g, combine = tasks.pop()
+            if combine:
+                high = results.pop()
+                low = results.pop()
+                lf, lg = level_arr[f], level_arr[g]
+                result = self._mk(lf if lf < lg else lg, low, high)
+                cache[(op, f, g)] = result
+                results.append(result)
+                continue
+            # Operator-specific terminal cases (same rules as the classic
+            # recursive formulation).
+            if op == _OP_AND:
+                if f == FALSE or g == FALSE:
+                    results.append(FALSE)
+                    continue
+                if f == TRUE:
+                    results.append(g)
+                    continue
+                if g == TRUE or f == g:
+                    results.append(f)
+                    continue
+            elif op == _OP_OR:
+                if f == TRUE or g == TRUE:
+                    results.append(TRUE)
+                    continue
+                if f == FALSE:
+                    results.append(g)
+                    continue
+                if g == FALSE or f == g:
+                    results.append(f)
+                    continue
+            else:  # _OP_XOR
+                if f == g:
+                    results.append(FALSE)
+                    continue
+                if f == FALSE:
+                    results.append(g)
+                    continue
+                if g == FALSE:
+                    results.append(f)
+                    continue
+                if f == TRUE:
+                    results.append(self.apply_not(g))
+                    continue
+                if g == TRUE:
+                    results.append(self.apply_not(f))
+                    continue
+            if f > g:  # commutativity-normalised cache
+                f, g = g, f
+            cached = cache.get((op, f, g))
+            if cached is not None:
+                results.append(cached)
+                continue
+            lf, lg = level_arr[f], level_arr[g]
+            level = lf if lf < lg else lg
+            if lf == level:
+                f0, f1 = low_arr[f], high_arr[f]
+            else:
+                f0 = f1 = f
+            if lg == level:
+                g0, g1 = low_arr[g], high_arr[g]
+            else:
+                g0 = g1 = g
+            tasks.append((f, g, True))
+            tasks.append((f1, g1, False))
+            tasks.append((f0, g0, False))
+        return results[0]
 
     def apply_and(self, f: int, g: int) -> int:
         """Conjunction with a commutativity-normalised cache."""
-        if f == FALSE or g == FALSE:
-            return FALSE
-        if f == TRUE:
-            return g
-        if g == TRUE:
-            return f
-        if f == g:
-            return f
-        if f > g:
-            f, g = g, f
-        key = (_OP_AND, f, g)
-        cached = self._bin_cache.get(key)
-        if cached is not None:
-            return cached
-        level = min(self._level[f], self._level[g])
-        f0, f1 = self._cofactors(f, level)
-        g0, g1 = self._cofactors(g, level)
-        result = self._mk(level, self.apply_and(f0, g0), self.apply_and(f1, g1))
-        self._bin_cache[key] = result
-        return result
+        return self._apply_bin(_OP_AND, f, g)
 
     def apply_or(self, f: int, g: int) -> int:
         """Disjunction with a commutativity-normalised cache."""
-        if f == TRUE or g == TRUE:
-            return TRUE
-        if f == FALSE:
-            return g
-        if g == FALSE:
-            return f
-        if f == g:
-            return f
-        if f > g:
-            f, g = g, f
-        key = (_OP_OR, f, g)
-        cached = self._bin_cache.get(key)
-        if cached is not None:
-            return cached
-        level = min(self._level[f], self._level[g])
-        f0, f1 = self._cofactors(f, level)
-        g0, g1 = self._cofactors(g, level)
-        result = self._mk(level, self.apply_or(f0, g0), self.apply_or(f1, g1))
-        self._bin_cache[key] = result
-        return result
+        return self._apply_bin(_OP_OR, f, g)
 
     def apply_xor(self, f: int, g: int) -> int:
         """Exclusive or."""
-        if f == g:
-            return FALSE
-        if f == FALSE:
-            return g
-        if g == FALSE:
-            return f
-        if f == TRUE:
-            return self.apply_not(g)
-        if g == TRUE:
-            return self.apply_not(f)
-        if f > g:
-            f, g = g, f
-        key = (_OP_XOR, f, g)
-        cached = self._bin_cache.get(key)
-        if cached is not None:
-            return cached
-        level = min(self._level[f], self._level[g])
-        f0, f1 = self._cofactors(f, level)
-        g0, g1 = self._cofactors(g, level)
-        result = self._mk(level, self.apply_xor(f0, g0), self.apply_xor(f1, g1))
-        self._bin_cache[key] = result
-        return result
+        return self._apply_bin(_OP_XOR, f, g)
 
     def apply_iff(self, f: int, g: int) -> int:
         """Equivalence ``f <-> g``."""
@@ -376,24 +483,45 @@ class BDDManager:
             return f
         return self._exists_profile(f, self._quant_profile(variables))
 
+    def _quantify_profile(self, f: int, profile: int, disjunctive: bool) -> int:
+        """Iterative quantification core (``exists`` when ``disjunctive``)."""
+        level_arr = self._level
+        qset = self._quant_profile_sets[profile]
+        qmax = self._quant_profile_max[profile]
+        cache = self._quant_cache
+        tag = 0 if disjunctive else 1
+        tasks: List[Tuple[int, bool]] = [(f, False)]
+        results: List[int] = []
+        while tasks:
+            f, combine = tasks.pop()
+            if combine:
+                high = results.pop()
+                low = results.pop()
+                level = level_arr[f]
+                if level in qset:
+                    if disjunctive:
+                        result = self.apply_or(low, high)
+                    else:
+                        result = self.apply_and(low, high)
+                else:
+                    result = self._mk(level, low, high)
+                cache[(tag, f, profile)] = result
+                results.append(result)
+                continue
+            if f <= TRUE or level_arr[f] > qmax:
+                results.append(f)
+                continue
+            cached = cache.get((tag, f, profile))
+            if cached is not None:
+                results.append(cached)
+                continue
+            tasks.append((f, True))
+            tasks.append((self._high[f], False))
+            tasks.append((self._low[f], False))
+        return results[0]
+
     def _exists_profile(self, f: int, profile: int) -> int:
-        if f <= TRUE:
-            return f
-        level = self._level[f]
-        if level > self._quant_profile_max[profile]:
-            return f
-        key = (0, f, profile)
-        cached = self._quant_cache.get(key)
-        if cached is not None:
-            return cached
-        low = self._exists_profile(self._low[f], profile)
-        high = self._exists_profile(self._high[f], profile)
-        if level in self._quant_profile_sets[profile]:
-            result = self.apply_or(low, high)
-        else:
-            result = self._mk(level, low, high)
-        self._quant_cache[key] = result
-        return result
+        return self._quantify_profile(f, profile, disjunctive=True)
 
     def forall(self, f: int, variables: Sequence[int]) -> int:
         """Universal quantification of ``variables`` (ids) out of ``f``."""
@@ -403,23 +531,7 @@ class BDDManager:
         return self._forall_profile(f, profile)
 
     def _forall_profile(self, f: int, profile: int) -> int:
-        if f <= TRUE:
-            return f
-        level = self._level[f]
-        if level > self._quant_profile_max[profile]:
-            return f
-        key = (1, f, profile)
-        cached = self._quant_cache.get(key)
-        if cached is not None:
-            return cached
-        low = self._forall_profile(self._low[f], profile)
-        high = self._forall_profile(self._high[f], profile)
-        if level in self._quant_profile_sets[profile]:
-            result = self.apply_and(low, high)
-        else:
-            result = self._mk(level, low, high)
-        self._quant_cache[key] = result
-        return result
+        return self._quantify_profile(f, profile, disjunctive=False)
 
     def and_exists(self, f: int, g: int, variables: Sequence[int]) -> int:
         """Relational product ``exists variables . (f & g)`` in one pass.
@@ -434,42 +546,84 @@ class BDDManager:
         return self._and_exists_profile(f, g, profile)
 
     def _and_exists_profile(self, f: int, g: int, profile: int) -> int:
-        if f == FALSE or g == FALSE:
-            return FALSE
-        if f == TRUE and g == TRUE:
-            return TRUE
-        if f == TRUE:
-            return self._exists_profile(g, profile)
-        if g == TRUE:
-            return self._exists_profile(f, profile)
-        if f == g:
-            return self._exists_profile(f, profile)
-        max_level = self._quant_profile_max[profile]
-        if self._level[f] > max_level and self._level[g] > max_level:
-            return self.apply_and(f, g)
-        if f > g:
-            f, g = g, f
-        key = (f, g, profile)
-        cached = self._relprod_cache.get(key)
-        if cached is not None:
-            return cached
-        level = min(self._level[f], self._level[g])
-        f0, f1 = self._cofactors(f, level)
-        g0, g1 = self._cofactors(g, level)
-        if level in self._quant_profile_sets[profile]:
-            low = self._and_exists_profile(f0, g0, profile)
-            if low == TRUE:
-                result = TRUE
-            else:
-                result = self.apply_or(low, self._and_exists_profile(f1, g1, profile))
-        else:
-            result = self._mk(
-                level,
-                self._and_exists_profile(f0, g0, profile),
-                self._and_exists_profile(f1, g1, profile),
-            )
-        self._relprod_cache[key] = result
-        return result
+        level_arr = self._level
+        low_arr = self._low
+        high_arr = self._high
+        qset = self._quant_profile_sets[profile]
+        qmax = self._quant_profile_max[profile]
+        cache = self._relprod_cache
+        # Frames: (phase, a, b, c, d).  EXPAND carries (f, g); AFTER_LOW
+        # carries (f, g, f1, g1) — the pending high cofactors, expanded only
+        # when the low branch did not already decide the disjunction;
+        # AFTER_HIGH carries (f, g, low); AFTER_BOTH carries (f, g).
+        tasks: List[Tuple[int, int, int, int, int]] = [
+            (_AE_EXPAND, f, g, 0, 0)
+        ]
+        results: List[int] = []
+        while tasks:
+            phase, f, g, c, d = tasks.pop()
+            if phase == _AE_EXPAND:
+                if f == FALSE or g == FALSE:
+                    results.append(FALSE)
+                    continue
+                if f == TRUE and g == TRUE:
+                    results.append(TRUE)
+                    continue
+                if f == TRUE:
+                    results.append(self._exists_profile(g, profile))
+                    continue
+                if g == TRUE or f == g:
+                    results.append(self._exists_profile(f, profile))
+                    continue
+                if level_arr[f] > qmax and level_arr[g] > qmax:
+                    results.append(self.apply_and(f, g))
+                    continue
+                if f > g:
+                    f, g = g, f
+                cached = cache.get((f, g, profile))
+                if cached is not None:
+                    results.append(cached)
+                    continue
+                lf, lg = level_arr[f], level_arr[g]
+                level = lf if lf < lg else lg
+                if lf == level:
+                    f0, f1 = low_arr[f], high_arr[f]
+                else:
+                    f0 = f1 = f
+                if lg == level:
+                    g0, g1 = low_arr[g], high_arr[g]
+                else:
+                    g0 = g1 = g
+                if level in qset:
+                    # Quantified level: compute the low branch first and
+                    # short-circuit the high branch when it is already TRUE.
+                    tasks.append((_AE_AFTER_LOW, f, g, f1, g1))
+                    tasks.append((_AE_EXPAND, f0, g0, 0, 0))
+                else:
+                    tasks.append((_AE_AFTER_BOTH, f, g, 0, 0))
+                    tasks.append((_AE_EXPAND, f1, g1, 0, 0))
+                    tasks.append((_AE_EXPAND, f0, g0, 0, 0))
+            elif phase == _AE_AFTER_LOW:
+                low = results.pop()
+                if low == TRUE:
+                    cache[(f, g, profile)] = TRUE
+                    results.append(TRUE)
+                    continue
+                tasks.append((_AE_AFTER_HIGH, f, g, low, 0))
+                tasks.append((_AE_EXPAND, c, d, 0, 0))
+            elif phase == _AE_AFTER_HIGH:
+                high = results.pop()
+                result = self.apply_or(c, high)
+                cache[(f, g, profile)] = result
+                results.append(result)
+            else:  # _AE_AFTER_BOTH
+                high = results.pop()
+                low = results.pop()
+                lf, lg = level_arr[f], level_arr[g]
+                result = self._mk(lf if lf < lg else lg, low, high)
+                cache[(f, g, profile)] = result
+                results.append(result)
+        return results[0]
 
     def and_exists_chain(
         self,
@@ -510,22 +664,38 @@ class BDDManager:
         return self._restrict_level(f, level, value)
 
     def _restrict_level(self, f: int, level: int, value: bool) -> int:
-        if f <= TRUE or self._level[f] > level:
-            return f
-        key = (2 if value else 3, f, level)
-        cached = self._quant_cache.get(key)
-        if cached is not None:
-            return cached
-        if self._level[f] == level:
-            result = self._high[f] if value else self._low[f]
-        else:
-            result = self._mk(
-                self._level[f],
-                self._restrict_level(self._low[f], level, value),
-                self._restrict_level(self._high[f], level, value),
-            )
-        self._quant_cache[key] = result
-        return result
+        level_arr = self._level
+        cache = self._quant_cache
+        tag = 2 if value else 3
+        tasks: List[Tuple[int, bool]] = [(f, False)]
+        results: List[int] = []
+        while tasks:
+            f, combine = tasks.pop()
+            if combine:
+                high = results.pop()
+                low = results.pop()
+                result = self._mk(level_arr[f], low, high)
+                cache[(tag, f, level)] = result
+                results.append(result)
+                continue
+            if f <= TRUE or level_arr[f] > level:
+                results.append(f)
+                continue
+            cached = cache.get((tag, f, level))
+            if cached is not None:
+                results.append(cached)
+                continue
+            if level_arr[f] == level:
+                # The restricted variable cannot reappear below its level,
+                # so the chosen child is already fully restricted.
+                result = self._high[f] if value else self._low[f]
+                cache[(tag, f, level)] = result
+                results.append(result)
+                continue
+            tasks.append((f, True))
+            tasks.append((self._high[f], False))
+            tasks.append((self._low[f], False))
+        return results[0]
 
     def compose(self, f: int, var: int, g: int) -> int:
         """Substitute function ``g`` for variable id ``var`` inside ``f``."""
@@ -541,26 +711,49 @@ class BDDManager:
             return f
         by_level = {self._var2level[v]: g for v, g in substitution.items()}
         # A fresh token keys this substitution in the (shared) compose cache.
+        # Entries of previous tokens can never be hit again; purge them once
+        # enough generations have accumulated (policy.compose_generations).
         self._compose_token += 1
+        if (
+            self._compose_token - self._compose_purged_token
+            >= self.policy.compose_generations
+        ):
+            self._compose_cache.clear()
+            self._compose_purged_token = self._compose_token
         self._compose_max_level = max(by_level)
         return self._compose_rec(f, by_level)
 
     def _compose_rec(self, f: int, by_level: Dict[int, int]) -> int:
-        if f <= TRUE or self._level[f] > self._compose_max_level:
-            return f
-        key = (self._compose_token, f)
-        cached = self._compose_cache.get(key)
-        if cached is not None:
-            return cached
-        level = self._level[f]
-        low = self._compose_rec(self._low[f], by_level)
-        high = self._compose_rec(self._high[f], by_level)
-        replacement = by_level.get(level)
-        if replacement is None:
-            replacement = self._mk(level, FALSE, TRUE)
-        result = self.ite(replacement, high, low)
-        self._compose_cache[key] = result
-        return result
+        level_arr = self._level
+        max_level = self._compose_max_level
+        token = self._compose_token
+        cache = self._compose_cache
+        tasks: List[Tuple[int, bool]] = [(f, False)]
+        results: List[int] = []
+        while tasks:
+            f, combine = tasks.pop()
+            if combine:
+                high = results.pop()
+                low = results.pop()
+                level = level_arr[f]
+                replacement = by_level.get(level)
+                if replacement is None:
+                    replacement = self._mk(level, FALSE, TRUE)
+                result = self.ite(replacement, high, low)
+                cache[(token, f)] = result
+                results.append(result)
+                continue
+            if f <= TRUE or level_arr[f] > max_level:
+                results.append(f)
+                continue
+            cached = cache.get((token, f))
+            if cached is not None:
+                results.append(cached)
+                continue
+            tasks.append((f, True))
+            tasks.append((self._high[f], False))
+            tasks.append((self._low[f], False))
+        return results[0]
 
     def rename(self, f: int, mapping: Dict[int, int]) -> int:
         """Rename variables of ``f`` according to ``{old var id -> new var id}``.
@@ -581,28 +774,39 @@ class BDDManager:
         mapped = [level_map.get(level, level) for level in support_levels]
         monotone = all(mapped[i] < mapped[i + 1] for i in range(len(mapped) - 1))
         if monotone:
-            cache: Dict[int, int] = {}
-            return self._rename_rec(f, level_map, cache)
+            return self._rename_rec(f, level_map)
         substitution = {
             old: self._mk(self._var2level[new], FALSE, TRUE)
             for old, new in mapping.items()
         }
         return self.compose_many(f, substitution)
 
-    def _rename_rec(self, f: int, level_map: Dict[int, int], cache: Dict[int, int]) -> int:
-        if f <= TRUE:
-            return f
-        cached = cache.get(f)
-        if cached is not None:
-            return cached
-        level = self._level[f]
-        result = self._mk(
-            level_map.get(level, level),
-            self._rename_rec(self._low[f], level_map, cache),
-            self._rename_rec(self._high[f], level_map, cache),
-        )
-        cache[f] = result
-        return result
+    def _rename_rec(self, f: int, level_map: Dict[int, int]) -> int:
+        level_arr = self._level
+        cache: Dict[int, int] = {}
+        tasks: List[Tuple[int, bool]] = [(f, False)]
+        results: List[int] = []
+        while tasks:
+            f, combine = tasks.pop()
+            if combine:
+                high = results.pop()
+                low = results.pop()
+                level = level_arr[f]
+                result = self._mk(level_map.get(level, level), low, high)
+                cache[f] = result
+                results.append(result)
+                continue
+            if f <= TRUE:
+                results.append(f)
+                continue
+            cached = cache.get(f)
+            if cached is not None:
+                results.append(cached)
+                continue
+            tasks.append((f, True))
+            tasks.append((self._high[f], False))
+            tasks.append((self._low[f], False))
+        return results[0]
 
     # ------------------------------------------------------------------
     # Satisfying assignments
@@ -632,28 +836,30 @@ class BDDManager:
                     f"satcount: function depends on {self._var_names[var]!r} "
                     "which is outside the counting variables"
                 )
-        memo: Dict[int, int] = {}
-
-        def rec(node: int) -> int:
-            # Count over the counting-variables at ranks >= rank(level(node)).
-            if node == FALSE:
-                return 0
-            if node == TRUE:
-                return 1
-            cached = memo.get(node)
-            if cached is not None:
-                return cached
-            r = rank[self._level[node]]
-            low, high = self._low[node], self._high[node]
-            low_rank = rank[self._level[low]] if low > TRUE else n
-            high_rank = rank[self._level[high]] if high > TRUE else n
-            count = (rec(low) << (low_rank - r - 1)) + (
-                rec(high) << (high_rank - r - 1)
-            )
-            memo[node] = count
-            return count
-
-        return rec(f) << rank[self._level[f]]
+        level_arr = self._level
+        low_arr = self._low
+        high_arr = self._high
+        memo: Dict[int, int] = {FALSE: 0, TRUE: 1}
+        # Counts are over the counting-variables at ranks >= rank(level(node));
+        # a child skipping ranks contributes a factor of two per skipped rank.
+        tasks: List[Tuple[int, bool]] = [(f, False)]
+        while tasks:
+            node, combine = tasks.pop()
+            if combine:
+                r = rank[level_arr[node]]
+                low, high = low_arr[node], high_arr[node]
+                low_rank = rank[level_arr[low]] if low > TRUE else n
+                high_rank = rank[level_arr[high]] if high > TRUE else n
+                memo[node] = (memo[low] << (low_rank - r - 1)) + (
+                    memo[high] << (high_rank - r - 1)
+                )
+                continue
+            if node in memo:
+                continue
+            tasks.append((node, True))
+            tasks.append((high_arr[node], False))
+            tasks.append((low_arr[node], False))
+        return memo[f] << rank[self._level[f]]
 
     def support(self, f: int) -> List[int]:
         """Variable ids (sorted by level) that ``f`` structurally depends on."""
@@ -674,24 +880,37 @@ class BDDManager:
         """Yield the cubes (partial assignments ``{var id: bool}``) of ``f``.
 
         Each cube corresponds to one path from the root to TRUE; variables
-        skipped on the path are omitted (don't-cares).
+        skipped on the path are omitted (don't-cares).  The root is pinned
+        against garbage collection for the iterator's lifetime, so consumers
+        may freely interleave other BDD work (which may hit GC safe points)
+        with the enumeration.
         """
-        path: Dict[int, bool] = {}
-
-        def rec(node: int) -> Iterator[Dict[int, bool]]:
-            if node == FALSE:
-                return
-            if node == TRUE:
-                yield dict(path)
-                return
-            var = self._level2var[self._level[node]]
-            path[var] = False
-            yield from rec(self._low[node])
-            path[var] = True
-            yield from rec(self._high[node])
-            del path[var]
-
-        yield from rec(f)
+        if f == FALSE:
+            return
+        self._pin(f)
+        try:
+            path: List[Tuple[int, bool]] = []
+            # Each entry: (node, path length to truncate to, literal to
+            # append first — or -1 for the root).  Low branches are pushed
+            # last so they are explored first, matching the historical
+            # recursive enumeration order (trace rendering depends on it).
+            stack: List[Tuple[int, int, int, bool]] = [(f, 0, -1, False)]
+            while stack:
+                node, plen, var, value = stack.pop()
+                del path[plen:]
+                if var >= 0:
+                    path.append((var, value))
+                if node == FALSE:
+                    continue
+                if node == TRUE:
+                    yield dict(path)
+                    continue
+                v = self._level2var[self._level[node]]
+                depth = len(path)
+                stack.append((self._high[node], depth, v, True))
+                stack.append((self._low[node], depth, v, False))
+        finally:
+            self._unpin(f)
 
     def iter_sat(self, f: int, variables: Sequence[int]) -> Iterator[Dict[int, bool]]:
         """Yield complete assignments over ``variables`` satisfying ``f``.
@@ -715,15 +934,17 @@ class BDDManager:
                 yield assignment
 
     def pick_sat(self, f: int, variables: Sequence[int]) -> Optional[Dict[int, bool]]:
-        """Return one satisfying assignment over ``variables`` or ``None``."""
+        """Return one satisfying assignment over ``variables`` or ``None``.
+
+        The result assigns **exactly** the requested ``variables`` (support
+        variables outside ``variables`` are projected away): it is the
+        restriction to ``variables`` of some full satisfying assignment of
+        ``f``, with don't-care variables defaulting to ``False``.
+        """
         if f == FALSE:
             return None
         cube = next(self.iter_cubes(f))
-        assignment = {v: cube.get(v, False) for v in variables}
-        # Preserve cube values for any support variable outside `variables`.
-        for var, value in cube.items():
-            assignment[var] = value
-        return assignment
+        return {v: cube.get(v, False) for v in variables}
 
     def eval_node(self, f: int, assignment: Dict[int, bool]) -> bool:
         """Evaluate ``f`` under a complete assignment ``{var id: bool}``."""
@@ -756,7 +977,91 @@ class BDDManager:
 
     def register_external(self, obj) -> None:
         """Track a wrapper object whose ``node`` attribute must stay live."""
-        self._external.add(obj)
+        external = self._external
+        key = id(obj)
+
+        def _drop(_ref, _key=key, _external=external):
+            _external.pop(_key, None)
+
+        external[key] = weakref.ref(obj, _drop)
+
+    def _pin(self, node: int) -> None:
+        """Protect ``node`` (and its cone) from GC until :meth:`_unpin`."""
+        self._pinned[node] = self._pinned.get(node, 0) + 1
+
+    def _unpin(self, node: int) -> None:
+        count = self._pinned.get(node, 0) - 1
+        if count > 0:
+            self._pinned[node] = count
+        else:
+            self._pinned.pop(node, None)
+
+    def set_policy(self, policy: ResourcePolicy) -> None:
+        """Install a new resource policy and re-arm its triggers."""
+        self.policy = policy
+        self._gc_trigger = policy.gc_node_threshold
+        self._reorder_trigger = policy.reorder_node_threshold
+
+    def cache_entry_count(self) -> int:
+        """Combined entry count of all operation caches."""
+        return (
+            len(self._ite_cache)
+            + len(self._bin_cache)
+            + len(self._not_cache)
+            + len(self._quant_cache)
+            + len(self._relprod_cache)
+            + len(self._compose_cache)
+        )
+
+    def checkpoint(self) -> None:
+        """Safe-point hook of the automatic resource manager.
+
+        Called whenever a :class:`~repro.bdd.function.Function` wrapper is
+        created — the one moment when every intermediate the caller still
+        needs is wrapper-rooted and no raw-node traversal is in flight (the
+        manager's own operators never create wrappers mid-computation).
+        Runs auto-GC / cache eviction / the opt-in auto-sift hook when the
+        policy's thresholds are crossed; cheap (a few integer compares)
+        otherwise.
+        """
+        if self._in_checkpoint:
+            return
+        count = len(self._level) - len(self._free)
+        if count > self._peak_nodes:
+            self._peak_nodes = count
+        policy = self.policy
+        self._in_checkpoint = True
+        try:
+            if (
+                policy.auto_reorder
+                and count >= self._reorder_trigger
+                # Reordering rewrites nodes in place; never do it while a
+                # cube iterator is walking the graph.
+                and not self._pinned
+            ):
+                from .reorder import sift  # local import: reorder imports us
+
+                sift(self, max_vars=policy.reorder_max_vars or None)
+                self._reorder_runs += 1
+                live = self.node_count()
+                self._reorder_trigger = max(
+                    policy.reorder_node_threshold,
+                    int(live * policy.reorder_growth) + 1,
+                )
+                count = live
+            if policy.gc_enabled and count >= self._gc_trigger:
+                self.collect_garbage()
+                live = self.node_count()
+                self._gc_trigger = max(
+                    policy.gc_node_threshold, int(live * policy.gc_growth)
+                )
+            elif (
+                policy.cache_entry_threshold
+                and self.cache_entry_count() >= policy.cache_entry_threshold
+            ):
+                self.clear_caches()
+        finally:
+            self._in_checkpoint = False
 
     def clear_caches(self) -> None:
         """Drop all operation caches (automatically done by GC/reorder)."""
@@ -766,17 +1071,26 @@ class BDDManager:
         self._quant_cache.clear()
         self._relprod_cache.clear()
         self._compose_cache.clear()
+        self._compose_purged_token = self._compose_token
 
     def collect_garbage(self, extra_roots: Iterable[int] = ()) -> int:
         """Mark-and-sweep: recycle nodes unreachable from live references.
 
         Roots are the nodes of all live :class:`Function` wrappers, all
-        single-variable nodes, and ``extra_roots``.  Returns the number of
-        node slots freed.  All operation caches are invalidated.
+        single-variable nodes, all pinned nodes (in-flight enumerations),
+        and ``extra_roots``.  Returns the number of node slots freed.  All
+        operation caches are invalidated.
         """
+        started = time.perf_counter()
+        count = len(self._level) - len(self._free)
+        if count > self._peak_nodes:
+            self._peak_nodes = count
         roots = set(extra_roots)
-        for obj in self._external:
-            roots.add(obj.node)
+        for ref in list(self._external.values()):
+            obj = ref()
+            if obj is not None:
+                roots.add(obj.node)
+        roots.update(self._pinned)
         for var in range(self.num_vars):
             level = self._var2level[var]
             node = self._unique.get((level, FALSE, TRUE))
@@ -799,9 +1113,84 @@ class BDDManager:
             node = self._unique.pop(key)
             self._free.append(node)
             freed += 1
-        self.clear_caches()
+        if freed:
+            # Cache entries may reference recycled slots — drop them.  When
+            # the sweep freed nothing, every cached operand/result was just
+            # proven live, so the caches stay valid and are kept: this is
+            # what makes dense GC schedules (the stress suite collects at
+            # every safe point) affordable — repeated no-op collections do
+            # not forfeit memoisation.
+            self.clear_caches()
         self._gc_runs += 1
+        self._gc_freed_total += freed
+        self._gc_seconds += time.perf_counter() - started
         return freed
+
+    def live_node_count(self, extra_roots: Iterable[int] = ()) -> int:
+        """Nodes reachable from live references (terminals included).
+
+        Marks from the same root set as :meth:`collect_garbage` without
+        sweeping — the size measure dynamic reordering optimises (the raw
+        unique-table size would count dead-but-uncollected nodes and skew
+        placement decisions).
+        """
+        roots = set(extra_roots)
+        for ref in list(self._external.values()):
+            obj = ref()
+            if obj is not None:
+                roots.add(obj.node)
+        roots.update(self._pinned)
+        for var in range(self.num_vars):
+            level = self._var2level[var]
+            node = self._unique.get((level, FALSE, TRUE))
+            if node is not None:
+                roots.add(node)
+        marked = {FALSE, TRUE}
+        stack = [r for r in roots if r > TRUE]
+        while stack:
+            node = stack.pop()
+            if node in marked:
+                continue
+            marked.add(node)
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return len(marked)
+
+    # ------------------------------------------------------------------
+    # Resource statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def gc_runs(self) -> int:
+        """Number of completed garbage collections (manual + automatic)."""
+        return self._gc_runs
+
+    @property
+    def gc_seconds(self) -> float:
+        """Total wall-clock time spent inside garbage collection."""
+        return self._gc_seconds
+
+    @property
+    def peak_nodes(self) -> int:
+        """High-water mark of the live node count (updated at safe points,
+        at GC entry, and whenever it is read)."""
+        count = len(self._level) - len(self._free)
+        if count > self._peak_nodes:
+            self._peak_nodes = count
+        return self._peak_nodes
+
+    def resource_stats(self) -> Dict[str, float]:
+        """Resource-manager counters as a JSON-friendly dict."""
+        return {
+            "live_nodes": self.node_count(),
+            "peak_live_nodes": self.peak_nodes,
+            "created_nodes": self._created_nodes,
+            "gc_runs": self._gc_runs,
+            "gc_freed": self._gc_freed_total,
+            "gc_seconds": self._gc_seconds,
+            "reorder_runs": self._reorder_runs,
+            "cache_entries": self.cache_entry_count(),
+        }
 
     # ------------------------------------------------------------------
     # Debugging helpers

@@ -34,8 +34,9 @@ plus the complete ``full``/``empty`` suites (100% each).
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Optional
 
+from ..bdd import ResourcePolicy
 from ..ctl.ast import CtlAnd, CtlFormula
 from ..ctl.parser import parse_ctl
 from ..expr.arith import increment_mod_bits, mux
@@ -56,7 +57,11 @@ __all__ = [
 DEFAULT_DEPTH = 4
 
 
-def build_circular_queue(depth: int = DEFAULT_DEPTH, trans: str = "partitioned") -> FSM:
+def build_circular_queue(
+    depth: int = DEFAULT_DEPTH,
+    trans: str = "partitioned",
+    policy: Optional[ResourcePolicy] = None,
+) -> FSM:
     """Build the circular queue with pointer width ``ceil(log2(depth))``.
 
     ``trans`` selects the transition-relation mode (see
@@ -104,7 +109,7 @@ def build_circular_queue(depth: int = DEFAULT_DEPTH, trans: str = "partitioned")
     b.word("wr", wr_bits)
     b.define("full", full)
     b.define("empty", empty)
-    return b.build(trans=trans)
+    return b.build(trans=trans, policy=policy)
 
 
 def _bundle(parts: List[CtlFormula]) -> CtlFormula:

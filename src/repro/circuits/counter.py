@@ -17,8 +17,9 @@ Reset takes priority over stall.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Optional
 
+from ..bdd import ResourcePolicy
 from ..ctl.ast import CtlFormula
 from ..ctl.parser import parse_ctl
 from ..expr.arith import increment_mod_bits, mux
@@ -33,7 +34,11 @@ __all__ = [
 ]
 
 
-def build_counter(modulus: int = 5, trans: str = "partitioned") -> FSM:
+def build_counter(
+    modulus: int = 5,
+    trans: str = "partitioned",
+    policy: Optional[ResourcePolicy] = None,
+) -> FSM:
     """The modulo-``modulus`` counter of the paper's introduction.
 
     State variables: ``count`` (a ``ceil(log2(modulus))``-bit word) plus the
@@ -53,7 +58,7 @@ def build_counter(modulus: int = 5, trans: str = "partitioned") -> FSM:
         # Reset dominates: the bit clears regardless of stall.
         builder.latch(bit, init=False, next_=mux(reset, FALSE_EXPR, advance))
     builder.word("count", bits)
-    return builder.build(trans=trans)
+    return builder.build(trans=trans, policy=policy)
 
 
 def counter_properties(modulus: int = 5) -> List[CtlFormula]:

@@ -27,8 +27,9 @@ properties and reaches 100%.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from ..bdd import ResourcePolicy
 from ..ctl.ast import CtlFormula
 from ..ctl.parser import parse_ctl
 from ..expr.arith import mux
@@ -49,7 +50,11 @@ __all__ = [
 HOLD_CYCLES = 3
 
 
-def build_pipeline(stages: int = 3, trans: str = "partitioned") -> FSM:
+def build_pipeline(
+    stages: int = 3,
+    trans: str = "partitioned",
+    policy: Optional[ResourcePolicy] = None,
+) -> FSM:
     """Build the ``stages``-stage pipeline with the output hold state machine.
 
     With the default ``stages=3`` (the paper's circuit) the state variables
@@ -96,7 +101,7 @@ def build_pipeline(stages: int = 3, trans: str = "partitioned") -> FSM:
     b.define("output", f"d{stages}")
     b.define("out_valid", f"v{stages}")
     b.fairness("!stall")
-    return b.build(trans=trans)
+    return b.build(trans=trans, policy=policy)
 
 
 def pipeline_output_properties() -> List[CtlFormula]:

@@ -34,8 +34,9 @@ Semantics (correct design):
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Optional
 
+from ..bdd import ResourcePolicy
 from ..ctl.ast import CtlAnd, CtlFormula
 from ..ctl.parser import parse_ctl
 from ..expr.arith import add_words_bits, conditional_delta_bits, mux
@@ -63,6 +64,7 @@ def _width_for(count: int) -> int:
 def build_priority_buffer(
     capacity: int = DEFAULT_CAPACITY, buggy: bool = False,
     trans: str = "partitioned",
+    policy: Optional[ResourcePolicy] = None,
 ) -> FSM:
     """Build the priority buffer.
 
@@ -124,7 +126,7 @@ def build_priority_buffer(
         b.define(f"total{i}", expr)
         total_names.append(f"total{i}")
     b.word("total", total_names)
-    return b.build(trans=trans)
+    return b.build(trans=trans, policy=policy)
 
 
 def _bundle(parts: List[CtlFormula]) -> CtlFormula:

@@ -30,6 +30,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .bdd import ResourcePolicy
 from .coverage import CoverageEstimator, format_uncovered_traces
 from .errors import ParseError, ReproError
 from .lang import elaborate, load_module
@@ -51,6 +52,7 @@ def _legacy_builder(name: str) -> Callable:
         return build_builtin(
             name, stage=args.stage, buggy=args.buggy,
             trans=getattr(args, "trans", "partitioned"),
+            policy=_policy_from_args(args),
         )
 
     return build
@@ -88,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print traces to up to N uncovered states",
     )
     _add_trans_flag(parser)
+    _add_resource_flags(parser)
     return parser
 
 
@@ -103,6 +106,42 @@ def _add_trans_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resource_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--gc-threshold", type=int, default=None, metavar="NODES",
+        help=(
+            "live-BDD-node threshold for automatic garbage collection "
+            "(0 disables auto-GC; default: the engine's built-in threshold); "
+            "a cost/memory knob — coverage results are identical at any "
+            "setting"
+        ),
+    )
+    parser.add_argument(
+        "--auto-reorder", action="store_true",
+        help=(
+            "enable automatic variable reordering (Rudell sifting) when the "
+            "live BDD outgrows its threshold; off by default because "
+            "reordering may change the rendering order of --traces output"
+        ),
+    )
+
+
+def _policy_from_args(args) -> Optional[ResourcePolicy]:
+    """The resource policy the CLI flags describe (None: engine default)."""
+    gc_threshold = getattr(args, "gc_threshold", None)
+    auto_reorder = bool(getattr(args, "auto_reorder", False))
+    if gc_threshold is None and not auto_reorder:
+        return None
+    kwargs = {"auto_reorder": auto_reorder}
+    if gc_threshold is not None:
+        if gc_threshold < 0:
+            # Usage error: same exit code as any other bad flag value.
+            print("error: --gc-threshold must be >= 0", file=sys.stderr)
+            raise SystemExit(2)
+        kwargs["gc_node_threshold"] = gc_threshold
+    return ResourcePolicy(**kwargs)
+
+
 def _build_run_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-coverage run",
@@ -114,6 +153,7 @@ def _build_run_parser() -> argparse.ArgumentParser:
         help="print traces to up to N uncovered states",
     )
     _add_trans_flag(parser)
+    _add_resource_flags(parser)
     return parser
 
 
@@ -141,6 +181,7 @@ def _build_suite_parser() -> argparse.ArgumentParser:
         help="run only discovered .rml jobs",
     )
     _add_trans_flag(parser)
+    _add_resource_flags(parser)
     return parser
 
 
@@ -183,7 +224,10 @@ def _parse_error_message(exc: ParseError) -> str:
 def _main_run(argv: List[str]) -> int:
     args = _build_run_parser().parse_args(argv)
     try:
-        model = elaborate(load_module(args.file), trans=args.trans)
+        model = elaborate(
+            load_module(args.file), trans=args.trans,
+            policy=_policy_from_args(args),
+        )
     except OSError as exc:
         print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
         return 2
@@ -216,6 +260,9 @@ def _main_run(argv: List[str]) -> int:
 
 def _main_suite(argv: List[str]) -> int:
     args = _build_suite_parser().parse_args(argv)
+    # Validate the resource flags up front: one usage error beats every
+    # worker failing with the same message after fan-out.
+    _policy_from_args(args)
     directory = args.directory
     if directory is None and Path("examples").is_dir():
         directory = "examples"
@@ -224,7 +271,8 @@ def _main_suite(argv: List[str]) -> int:
         return 2
     jobs = default_jobs(
         rml_dir=directory, include_builtins=not args.no_builtins,
-        trans=args.trans,
+        trans=args.trans, gc_threshold=args.gc_threshold,
+        auto_reorder=args.auto_reorder,
     )
     if not jobs:
         print("error: no jobs registered", file=sys.stderr)
@@ -275,7 +323,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     try:
         fsm, props, observed, dont_care = build_builtin(
-            args.target, stage=args.stage, buggy=args.buggy, trans=args.trans
+            args.target, stage=args.stage, buggy=args.buggy, trans=args.trans,
+            policy=_policy_from_args(args),
         )
         return _verify_and_report(fsm, props, observed, dont_care, args.traces)
     except ReproError as exc:

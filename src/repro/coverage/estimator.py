@@ -242,6 +242,12 @@ class CoverageEstimator:
     def _restricted_reachable_from(self, start: Function) -> Function:
         restrict = self._fair_restrict()
         if restrict is None:
+            if start == self.fsm.init:
+                # The common C(SI, AG f) shape: reuse the FSM's cached
+                # reachability instead of rerunning the BFS — the paper's
+                # remark about sharing results between verification and
+                # estimation, applied to the most expensive fixpoint.
+                return self.fsm.reachable()
             return self.fsm.reachable_from(start)
         reached = start & restrict
         frontier = reached

@@ -67,6 +67,28 @@ def _flip_vector(base: List[bool], index: int) -> List[bool]:
     return flipped
 
 
+def _expand_observed(
+    model: ExplicitModel, observed: Union[str, Sequence[str]]
+) -> List[str]:
+    """Resolve observed names to bit-level signals, expanding words.
+
+    Mirrors ``CoverageEstimator._observed_list``: a word name (e.g.
+    ``"count"``) means each of its bits, with per-bit covered sets unioned
+    (paper Section 2).  Without the expansion a word name would reach
+    :meth:`ExplicitModel.signal_vector` — which labels states with the
+    word's *bits*, never the word itself — and the oracle would silently
+    flip a signal that exists nowhere.
+    """
+    names = [observed] if isinstance(observed, str) else list(observed)
+    expanded: List[str] = []
+    for name in names:
+        if name in model.words:
+            expanded.extend(model.words[name])
+        else:
+            expanded.append(name)  # signal_vector validates plain names
+    return expanded
+
+
 def mutation_covered(
     model: ExplicitModel,
     formula: CtlFormula,
@@ -94,7 +116,7 @@ def mutation_covered(
         Check the property actually holds first (coverage of a failing
         property is undefined).
     """
-    observed_list = [observed] if isinstance(observed, str) else list(observed)
+    observed_list = _expand_observed(model, observed)
     normalized = _lower_atoms(model, normalize_for_coverage(formula))
     if verify:
         base_checker = ExplicitModelChecker(model, fairness=fairness)
@@ -133,7 +155,7 @@ def mutation_covered_raw(
     reproduces the paper's Figure 2 observation: eventuality properties get
     counter-intuitive (often zero) coverage without Definition 5.
     """
-    observed_list = [observed] if isinstance(observed, str) else list(observed)
+    observed_list = _expand_observed(model, observed)
     normalized = _lower_atoms(model, normalize_for_coverage(formula))
     if verify:
         base_checker = ExplicitModelChecker(model, fairness=fairness)

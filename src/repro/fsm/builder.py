@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Union
 
-from ..bdd import BDDManager, Function
+from ..bdd import BDDManager, Function, ResourcePolicy
 from ..errors import ModelError
 from ..expr.ast import Expr, Var
 from ..expr.bitvector import WordTable, int_to_bits, resolve_words
@@ -172,6 +172,7 @@ class CircuitBuilder:
         self,
         manager: Optional[BDDManager] = None,
         trans: str = TRANS_PARTITIONED,
+        policy: Optional[ResourcePolicy] = None,
     ) -> FSM:
         """Compile the accumulated description into an :class:`FSM`.
 
@@ -184,10 +185,17 @@ class CircuitBuilder:
         behind an early-quantification schedule; ``"mono"`` conjoins them
         into the classic monolithic relation up front.  Both machines
         compute identical sets (see ``tests/fsm/test_trans_equivalence.py``).
+
+        ``policy`` configures the BDD manager's automatic resource manager
+        (GC thresholds, the auto-sift hook — see
+        :class:`~repro.bdd.policy.ResourcePolicy`); when a ``manager`` is
+        supplied instead, the policy is installed on it.
         """
         validate_trans_mode(trans)
         if manager is None:
-            manager = BDDManager()
+            manager = BDDManager(policy=policy)
+        elif policy is not None:
+            manager.set_policy(policy)
         state_vars = self._latches + self._inputs
         if not state_vars:
             raise ModelError(f"circuit {self.name!r} has no state variables")

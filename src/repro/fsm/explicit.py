@@ -91,8 +91,26 @@ class ExplicitModel:
         }
 
     def signal_vector(self, name: str) -> List[bool]:
-        """The labelling of signal ``name`` as a per-state vector."""
-        return [bool(self.signal_values[i].get(name, False)) for i in range(self.n)]
+        """The labelling of signal ``name`` as a per-state vector.
+
+        Raises :class:`~repro.errors.ModelError` for a name absent from the
+        labelling — silently defaulting unknown names to all-False would
+        hand callers (e.g. the mutation oracle) a phantom signal that is
+        false everywhere, and every result downstream would be garbage.
+        """
+        if self.n and any(name not in self.signal_values[i] for i in range(self.n)):
+            known = sorted(self.signal_values[0])
+            raise ModelError(
+                f"unknown signal {name!r} in explicit model; known signals: "
+                f"{known[:12]}{'...' if len(known) > 12 else ''}"
+                + (
+                    f" (did you mean one of the bits of word {name!r}: "
+                    f"{self.words[name]}?)"
+                    if name in self.words
+                    else ""
+                )
+            )
+        return [bool(self.signal_values[i][name]) for i in range(self.n)]
 
 
 class ExplicitGraph:

@@ -398,15 +398,13 @@ class FSM:
         return path
 
     def _pick(self, states: Function) -> Dict[str, bool]:
+        # pick_sat assigns exactly the requested variables, so the result
+        # maps cleanly back to state-variable names.
         assignment = states.pick_sat(self._cur_list)
         if assignment is None:  # pragma: no cover - callers guarantee non-empty
             raise ModelError("internal error: picking from an empty state set")
         id_to_name = {self.current_ids[v]: v for v in self.state_vars}
-        return {
-            id_to_name[i]: val
-            for i, val in assignment.items()
-            if i in id_to_name
-        }
+        return {id_to_name[i]: val for i, val in assignment.items()}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from ..bdd import ResourcePolicy
 from ..ctl.ast import CtlFormula, formula_atoms
 from ..errors import ParseError
 from ..expr.arith import add_const_bits, add_words_bits, const_bits, mux
@@ -58,9 +59,15 @@ class ElaboratedModel:
 
 
 class _Elaborator:
-    def __init__(self, module: Module, trans: str = "partitioned"):
+    def __init__(
+        self,
+        module: Module,
+        trans: str = "partitioned",
+        policy: Optional[ResourcePolicy] = None,
+    ):
         self.module = module
         self.trans = trans
+        self.policy = policy
         self.filename = module.filename or "<module>"
         #: word name -> LSB-first bit names (vars and word-sum defines)
         self.word_bits: Dict[str, List[str]] = {}
@@ -339,7 +346,7 @@ class _Elaborator:
 
         return ElaboratedModel(
             module=module,
-            fsm=builder.build(trans=self.trans),
+            fsm=builder.build(trans=self.trans, policy=self.policy),
             specs=specs,
             observed=list(module.observed),
             dont_care=module.dont_care,
@@ -364,15 +371,20 @@ class _Elaborator:
             builder.define(define.name, value)
 
 
-def elaborate(module: Module, trans: str = "partitioned") -> ElaboratedModel:
+def elaborate(
+    module: Module,
+    trans: str = "partitioned",
+    policy: Optional[ResourcePolicy] = None,
+) -> ElaboratedModel:
     """Lower ``module`` to an :class:`ElaboratedModel` (FSM + properties).
 
     ``trans`` selects the FSM's transition-relation mode — ``"partitioned"``
     (default, per-latch conjuncts with early quantification) or ``"mono"``
-    (one relation BDD); see :meth:`~repro.fsm.builder.CircuitBuilder.build`.
+    (one relation BDD); ``policy`` configures the BDD manager's automatic
+    resource manager; see :meth:`~repro.fsm.builder.CircuitBuilder.build`.
 
     Raises :class:`~repro.errors.ParseError` with source location on any
     validation failure (unknown signals, width mismatches, non-exhaustive
     cases, init on a free input, ...).
     """
-    return _Elaborator(module, trans=trans).run()
+    return _Elaborator(module, trans=trans, policy=policy).run()

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..bdd import Function
+from ..ctl.actl import desugar_af
 from ..ctl.ast import (
     AF,
     AG,
@@ -41,6 +42,7 @@ from ..ctl.ast import (
     EG,
     EU,
     EX,
+    collapse,
 )
 from ..fsm.fsm import FSM
 from .stats import WorkMeter, WorkStats
@@ -95,7 +97,25 @@ class ModelChecker:
         self.fairness = list(fsm.fairness) if use_fairness else []
         self.memoize = memoize
         self._sat_cache: Dict[CtlFormula, Function] = {}
+        self._norm_cache: Dict[CtlFormula, CtlFormula] = {}
         self._fair_states: Optional[Function] = None
+
+    def _normalized(self, formula: CtlFormula) -> CtlFormula:
+        """The canonical cache key: collapsed propositional subtrees, ``AF``
+        desugared to ``A[true U .]``.
+
+        This is the same rewrite :func:`~repro.ctl.actl.normalize_for_coverage`
+        applies (minus the acceptable-subset validation, which the checker
+        does not impose), so satisfaction sets memoised while *verifying*
+        ``AF ack`` are found again when the coverage estimator asks for
+        ``A[true U ack]`` — the paper's reuse remark would otherwise be lost
+        to a hash mismatch between equivalent spellings.
+        """
+        cached = self._norm_cache.get(formula)
+        if cached is None:
+            cached = desugar_af(collapse(formula))
+            self._norm_cache[formula] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Fairness machinery
@@ -169,7 +189,13 @@ class ModelChecker:
     # ------------------------------------------------------------------
 
     def sat(self, formula: CtlFormula) -> Function:
-        """The set of states satisfying ``formula`` (fair semantics)."""
+        """The set of states satisfying ``formula`` (fair semantics).
+
+        Memoised on the *normalized* formula, so syntactically different but
+        equivalent spellings (``AF ack`` vs ``A[true U ack]``, re-parsed vs
+        collapsed propositional subtrees) share one cache entry.
+        """
+        formula = self._normalized(formula)
         if self.memoize:
             cached = self._sat_cache.get(formula)
             if cached is not None:

@@ -5,6 +5,12 @@ coverage estimation as "BDD nodes - time".  :class:`WorkMeter` captures the
 same two quantities against our engine: wall-clock seconds and the number of
 BDD nodes created while the measured block ran (a machine-independent work
 measure), plus the manager's live node count at the end.
+
+Since the engine gained an automatic resource manager
+(:class:`~repro.bdd.policy.ResourcePolicy`), the meter also records its
+footprint: garbage collections that ran during the phase, the wall-clock
+time they cost, and the manager's peak live-node count — the number that
+actually bounds memory on large designs.
 """
 
 from __future__ import annotations
@@ -28,12 +34,22 @@ class WorkStats:
     nodes_created: int = 0
     #: Live BDD nodes in the manager when the phase ended.
     nodes_live: int = 0
+    #: Garbage collections completed during the phase (manual + automatic).
+    gc_runs: int = 0
+    #: Wall-clock seconds spent inside those collections (GC overhead).
+    gc_seconds: float = 0.0
+    #: The manager's live-node high-water mark when the phase ended — the
+    #: memory bound of the run so far (monotone across phases on a manager).
+    peak_live_nodes: int = 0
 
     def __add__(self, other: "WorkStats") -> "WorkStats":
         return WorkStats(
             seconds=self.seconds + other.seconds,
             nodes_created=self.nodes_created + other.nodes_created,
             nodes_live=max(self.nodes_live, other.nodes_live),
+            gc_runs=self.gc_runs + other.gc_runs,
+            gc_seconds=self.gc_seconds + other.gc_seconds,
+            peak_live_nodes=max(self.peak_live_nodes, other.peak_live_nodes),
         )
 
     def format(self) -> str:
@@ -54,6 +70,8 @@ class WorkMeter:
     ...     _ = manager.var("x")
     >>> meter.stats.nodes_created
     1
+    >>> meter.stats.gc_runs
+    0
     """
 
     def __init__(self, manager: BDDManager):
@@ -61,10 +79,14 @@ class WorkMeter:
         self.stats: Optional[WorkStats] = None
         self._t0 = 0.0
         self._nodes0 = 0
+        self._gc_runs0 = 0
+        self._gc_seconds0 = 0.0
 
     def __enter__(self) -> "WorkMeter":
         self._t0 = time.perf_counter()
         self._nodes0 = self.manager.created_nodes
+        self._gc_runs0 = self.manager.gc_runs
+        self._gc_seconds0 = self.manager.gc_seconds
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -72,4 +94,7 @@ class WorkMeter:
             seconds=time.perf_counter() - self._t0,
             nodes_created=self.manager.created_nodes - self._nodes0,
             nodes_live=self.manager.node_count(),
+            gc_runs=self.manager.gc_runs - self._gc_runs0,
+            gc_seconds=self.manager.gc_seconds - self._gc_seconds0,
+            peak_live_nodes=self.manager.peak_nodes,
         )

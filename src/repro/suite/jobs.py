@@ -42,9 +42,19 @@ class CoverageJob:
     path: Optional[str] = None
     source: Optional[str] = None
     trans: str = "partitioned"
+    #: BDD auto-GC live-node threshold for the worker's resource policy
+    #: (None: engine default; 0: disable automatic GC).  Like ``trans``,
+    #: a cost knob — coverage results are identical at any setting.
+    gc_threshold: Optional[int] = None
+    #: Enable the worker's automatic variable-sifting hook (opt-in).
+    auto_reorder: bool = False
 
     def describe(self) -> str:
         trans = "" if self.trans == "partitioned" else f" --trans {self.trans}"
+        if self.gc_threshold is not None:
+            trans += f" --gc-threshold {self.gc_threshold}"
+        if self.auto_reorder:
+            trans += " --auto-reorder"
         if self.kind == KIND_RML:
             return (self.path or f"<rml:{self.name}>") + trans
         stage = f" --stage {self.stage}" if self.stage else ""
@@ -79,6 +89,12 @@ class JobResult:
     error: Optional[str] = None
     seconds: float = 0.0
     nodes_created: int = 0
+    #: Garbage collections the worker's BDD manager ran during the job.
+    gc_runs: int = 0
+    #: Wall-clock seconds spent inside those collections (GC overhead).
+    gc_seconds: float = 0.0
+    #: The manager's live-node high-water mark — the job's memory bound.
+    peak_live_nodes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -104,6 +120,9 @@ class JobResult:
             "error": self.error,
             "seconds": round(self.seconds, 6),
             "nodes_created": self.nodes_created,
+            "gc_runs": self.gc_runs,
+            "gc_seconds": round(self.gc_seconds, 6),
+            "peak_live_nodes": self.peak_live_nodes,
         }
 
     def format_line(self) -> str:

@@ -17,6 +17,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..bdd import ResourcePolicy
+
 from ..circuits import (
     build_circular_queue,
     build_counter,
@@ -51,8 +53,11 @@ __all__ = [
 BuildResult = Tuple[object, list, object, Optional[str]]
 
 
-def _counter(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
-    fsm = build_counter(trans=trans)
+def _counter(
+    stage: Optional[str], buggy: bool, trans: str,
+    policy: Optional[ResourcePolicy] = None,
+) -> BuildResult:
+    fsm = build_counter(trans=trans, policy=policy)
     if stage == "partial":
         props = counter_partial_properties()
     else:
@@ -60,13 +65,19 @@ def _counter(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
     return fsm, props, "count", None
 
 
-def _buffer_hi(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
-    fsm = build_priority_buffer(buggy=buggy, trans=trans)
+def _buffer_hi(
+    stage: Optional[str], buggy: bool, trans: str,
+    policy: Optional[ResourcePolicy] = None,
+) -> BuildResult:
+    fsm = build_priority_buffer(buggy=buggy, trans=trans, policy=policy)
     return fsm, priority_buffer_hi_properties(), "hi", None
 
 
-def _buffer_lo(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
-    fsm = build_priority_buffer(buggy=buggy, trans=trans)
+def _buffer_lo(
+    stage: Optional[str], buggy: bool, trans: str,
+    policy: Optional[ResourcePolicy] = None,
+) -> BuildResult:
+    fsm = build_priority_buffer(buggy=buggy, trans=trans, policy=policy)
     if stage == "augmented":
         props = priority_buffer_lo_augmented_properties()
     else:
@@ -74,8 +85,11 @@ def _buffer_lo(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
     return fsm, props, "lo", None
 
 
-def _queue_wrap(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
-    fsm = build_circular_queue(trans=trans)
+def _queue_wrap(
+    stage: Optional[str], buggy: bool, trans: str,
+    policy: Optional[ResourcePolicy] = None,
+) -> BuildResult:
+    fsm = build_circular_queue(trans=trans, policy=policy)
     stage = stage or "initial"
     if stage == "final":
         props = circular_queue_wrap_properties(stage="extended")
@@ -85,26 +99,35 @@ def _queue_wrap(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
     return fsm, props, "wrap", None
 
 
-def _queue_full(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
+def _queue_full(
+    stage: Optional[str], buggy: bool, trans: str,
+    policy: Optional[ResourcePolicy] = None,
+) -> BuildResult:
     return (
-        build_circular_queue(trans=trans),
+        build_circular_queue(trans=trans, policy=policy),
         circular_queue_full_properties(),
         "full",
         None,
     )
 
 
-def _queue_empty(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
+def _queue_empty(
+    stage: Optional[str], buggy: bool, trans: str,
+    policy: Optional[ResourcePolicy] = None,
+) -> BuildResult:
     return (
-        build_circular_queue(trans=trans),
+        build_circular_queue(trans=trans, policy=policy),
         circular_queue_empty_properties(),
         "empty",
         None,
     )
 
 
-def _pipeline(stage: Optional[str], buggy: bool, trans: str) -> BuildResult:
-    fsm = build_pipeline(trans=trans)
+def _pipeline(
+    stage: Optional[str], buggy: bool, trans: str,
+    policy: Optional[ResourcePolicy] = None,
+) -> BuildResult:
+    fsm = build_pipeline(trans=trans, policy=policy)
     if stage == "augmented":
         props = pipeline_augmented_properties()
     else:
@@ -117,7 +140,7 @@ class BuiltinTarget:
     """One registered built-in circuit/signal target."""
 
     name: str
-    builder: Callable[[Optional[str], bool, str], BuildResult]
+    builder: Callable[..., BuildResult]
     stages: Tuple[str, ...]
     description: str
 
@@ -152,13 +175,15 @@ def build_builtin(
     stage: Optional[str] = None,
     buggy: bool = False,
     trans: str = TRANS_PARTITIONED,
+    policy: Optional[ResourcePolicy] = None,
 ) -> BuildResult:
     """Construct ``(fsm, properties, observed, dont_care)`` for a target.
 
     ``trans`` selects the transition-relation mode of the built FSM
-    (``"partitioned"`` or ``"mono"``).  Raises :class:`ValueError` for an
-    unknown target, a stage outside the target's stage list, or an unknown
-    transition mode.
+    (``"partitioned"`` or ``"mono"``); ``policy`` the BDD manager's
+    resource policy (auto-GC thresholds, auto-sift — engine defaults when
+    ``None``).  Raises :class:`ValueError` for an unknown target, a stage
+    outside the target's stage list, or an unknown transition mode.
     """
     target = BUILTIN_TARGETS.get(name)
     if target is None:
@@ -174,7 +199,7 @@ def build_builtin(
             f"unknown transition mode {trans!r} "
             f"(valid modes: {', '.join(TRANS_MODES)})"
         )
-    return target.builder(stage, buggy, trans)
+    return target.builder(stage, buggy, trans, policy)
 
 
 # ----------------------------------------------------------------------
@@ -182,7 +207,11 @@ def build_builtin(
 # ----------------------------------------------------------------------
 
 
-def builtin_jobs(trans: str = TRANS_PARTITIONED) -> List[CoverageJob]:
+def builtin_jobs(
+    trans: str = TRANS_PARTITIONED,
+    gc_threshold: Optional[int] = None,
+    auto_reorder: bool = False,
+) -> List[CoverageJob]:
     """One job per (builtin target, stage) pair — stage-less targets get a
     single job at their default suite."""
     jobs: List[CoverageJob] = []
@@ -197,6 +226,8 @@ def builtin_jobs(trans: str = TRANS_PARTITIONED) -> List[CoverageJob]:
                     target=target.name,
                     stage=stage,
                     trans=trans,
+                    gc_threshold=gc_threshold,
+                    auto_reorder=auto_reorder,
                 )
             )
     return jobs
@@ -207,7 +238,12 @@ def discover_rml(directory: "str | Path") -> List[Path]:
     return sorted(Path(directory).glob("*.rml"))
 
 
-def rml_job(path: "str | Path", trans: str = TRANS_PARTITIONED) -> CoverageJob:
+def rml_job(
+    path: "str | Path",
+    trans: str = TRANS_PARTITIONED,
+    gc_threshold: Optional[int] = None,
+    auto_reorder: bool = False,
+) -> CoverageJob:
     """A job running one ``.rml`` file (source is read eagerly so the job
     stays self-contained when shipped to a worker process)."""
     path = Path(path)
@@ -217,6 +253,8 @@ def rml_job(path: "str | Path", trans: str = TRANS_PARTITIONED) -> CoverageJob:
         path=str(path),
         source=path.read_text(),
         trans=trans,
+        gc_threshold=gc_threshold,
+        auto_reorder=auto_reorder,
     )
 
 
@@ -224,9 +262,18 @@ def default_jobs(
     rml_dir: "str | Path | None" = None,
     include_builtins: bool = True,
     trans: str = TRANS_PARTITIONED,
+    gc_threshold: Optional[int] = None,
+    auto_reorder: bool = False,
 ) -> List[CoverageJob]:
     """The merged registry: builtin jobs plus discovered ``.rml`` jobs."""
-    jobs: List[CoverageJob] = builtin_jobs(trans) if include_builtins else []
+    jobs: List[CoverageJob] = (
+        builtin_jobs(trans, gc_threshold, auto_reorder)
+        if include_builtins
+        else []
+    )
     if rml_dir is not None:
-        jobs.extend(rml_job(path, trans) for path in discover_rml(rml_dir))
+        jobs.extend(
+            rml_job(path, trans, gc_threshold, auto_reorder)
+            for path in discover_rml(rml_dir)
+        )
     return jobs

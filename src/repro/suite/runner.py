@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from .._version import __version__
+from ..bdd import ResourcePolicy
 from ..coverage import CoverageEstimator
 from ..errors import ReproError
 from ..lang import elaborate, parse_module
@@ -39,19 +40,32 @@ __all__ = [
 JSON_SCHEMA_ID = "repro-coverage-suite/v1"
 
 
+def _job_policy(job: CoverageJob) -> Optional[ResourcePolicy]:
+    """The resource policy a job's fields describe (``None``: engine default)."""
+    if job.gc_threshold is None and not job.auto_reorder:
+        return None
+    kwargs = {"auto_reorder": job.auto_reorder}
+    if job.gc_threshold is not None:
+        kwargs["gc_node_threshold"] = job.gc_threshold
+    return ResourcePolicy(**kwargs)
+
+
 def _materialize(job: CoverageJob):
     """Build ``(fsm, properties, observed, dont_care)`` for a job."""
+    policy = _job_policy(job)
     if job.kind == KIND_BUILTIN:
         if job.target is None:
             raise ValueError(f"builtin job {job.name!r} has no target")
         return build_builtin(
-            job.target, stage=job.stage, buggy=job.buggy, trans=job.trans
+            job.target, stage=job.stage, buggy=job.buggy, trans=job.trans,
+            policy=policy,
         )
     if job.kind == KIND_RML:
         if job.source is None:
             raise ValueError(f"rml job {job.name!r} has no source")
         model = elaborate(
-            parse_module(job.source, filename=job.path), trans=job.trans
+            parse_module(job.source, filename=job.path), trans=job.trans,
+            policy=policy,
         )
         if not model.observed:
             raise ValueError(
@@ -100,6 +114,9 @@ def execute_job(job: CoverageJob) -> JobResult:
                 failing_properties=[str(p) for p in failing],
                 seconds=time.perf_counter() - started,
                 nodes_created=meter.stats.nodes_created,
+                gc_runs=meter.stats.gc_runs,
+                gc_seconds=meter.stats.gc_seconds,
+                peak_live_nodes=meter.stats.peak_live_nodes,
             )
         return JobResult(
             name=job.name,
@@ -117,6 +134,9 @@ def execute_job(job: CoverageJob) -> JobResult:
             uncovered_states=report.space_count - report.covered_count,
             seconds=time.perf_counter() - started,
             nodes_created=meter.stats.nodes_created,
+            gc_runs=meter.stats.gc_runs,
+            gc_seconds=meter.stats.gc_seconds,
+            peak_live_nodes=meter.stats.peak_live_nodes,
         )
     except (ReproError, ValueError, OSError) as exc:
         return JobResult(
@@ -179,6 +199,11 @@ def suite_report(
                 seconds if seconds is not None
                 else sum(r.seconds for r in results),
                 6,
+            ),
+            "gc_runs": sum(r.gc_runs for r in results),
+            "gc_seconds": round(sum(r.gc_seconds for r in results), 6),
+            "peak_live_nodes": max(
+                (r.peak_live_nodes for r in results), default=0
             ),
         },
     }

@@ -1,0 +1,90 @@
+"""Word-valued observed signals in the Definition-3 mutation oracle.
+
+The oracle used to pass word names (e.g. ``"count"``) straight to
+``ExplicitModel.signal_vector``, whose ``.get(name, False)`` silently
+produced an all-False phantom labelling: every flip was a no-op on the
+atoms that actually matter and the oracle returned garbage without a
+whisper.  Words must expand to their bits exactly like
+``CoverageEstimator._observed_list`` does, and ``signal_vector`` must
+raise on names the labelling does not contain.
+"""
+
+import pytest
+
+from repro.circuits import build_counter, counter_properties
+from repro.coverage import CoverageEstimator, mutation_covered
+from repro.ctl import parse_ctl
+from repro.errors import ModelError
+from repro.fsm import enumerate_model
+from repro.mc import ModelChecker
+
+
+@pytest.fixture(scope="module")
+def counter_pair():
+    fsm = build_counter()
+    return fsm, enumerate_model(fsm)
+
+
+class TestSignalVectorValidation:
+    def test_known_signal_ok(self, counter_pair):
+        _, model = counter_pair
+        vector = model.signal_vector("count0")
+        assert len(vector) == model.n
+
+    def test_unknown_signal_raises(self, counter_pair):
+        _, model = counter_pair
+        with pytest.raises(ModelError, match="unknown signal 'nonsense'"):
+            model.signal_vector("nonsense")
+
+    def test_word_name_raises_and_names_the_bits(self, counter_pair):
+        # The word itself is not a per-state label — only its bits are.
+        _, model = counter_pair
+        with pytest.raises(ModelError, match="bits of word 'count'"):
+            model.signal_vector("count")
+
+
+class TestWordObservedExpansion:
+    def test_word_equals_explicit_bit_list(self, counter_pair):
+        _, model = counter_pair
+        formula = parse_ctl("AG (reset -> AX count = 0)")
+        via_word = mutation_covered(model, formula, "count")
+        via_bits = mutation_covered(model, formula, list(model.words["count"]))
+        assert via_word == via_bits
+        # The reset property genuinely covers something: the all-False
+        # phantom labelling of the old bug produced exactly this set being
+        # wrong/empty for word observables.
+        assert via_word
+
+    def test_word_oracle_matches_symbolic_estimator(self, counter_pair):
+        """End-to-end: Definition 3 with a word observable agrees with the
+        Table-1 estimator (which always expanded words correctly)."""
+        fsm, model = counter_pair
+        formula = parse_ctl("AG (reset -> AX count = 0)")
+        checker = ModelChecker(fsm)
+        estimator = CoverageEstimator(fsm, checker=checker)
+        covered_set = estimator.covered_set(formula, "count")
+        symbolic = set()
+        for state in fsm.iter_states(covered_set & fsm.reachable()):
+            value = tuple(bool(state[v]) for v in fsm.state_vars)
+            symbolic.add(value)
+        oracle = mutation_covered(model, formula, "count")
+        oracle_states = set()
+        for index in oracle:
+            values = model.signal_values[index]
+            oracle_states.add(
+                tuple(bool(values[v]) for v in fsm.state_vars)
+            )
+        assert oracle_states == symbolic
+
+    def test_mixed_word_and_bit_names(self, counter_pair):
+        _, model = counter_pair
+        formula = parse_ctl("AG (reset -> AX count = 0)")
+        mixed = mutation_covered(model, formula, ["count", "count0"])
+        word_only = mutation_covered(model, formula, "count")
+        assert mixed == word_only  # count0 is already among count's bits
+
+    def test_unknown_observed_raises(self, counter_pair):
+        _, model = counter_pair
+        formula = parse_ctl("AG (reset -> AX count = 0)")
+        with pytest.raises(ModelError, match="unknown signal"):
+            mutation_covered(model, formula, "bogus")

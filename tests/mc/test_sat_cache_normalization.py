@@ -1,0 +1,84 @@
+"""Satisfaction-set memoisation across formula spellings.
+
+The checker memoises on a *normalized* formula (propositional subtrees
+collapsed, ``AF`` desugared to ``A[true U .]``), so the exact fixpoints
+computed during verification are found again when the coverage estimator
+queries ``normalize_for_coverage(formula)`` — previously ``AF ack`` and
+``A[true U ack]`` hashed differently and the top-level fixpoint was
+recomputed from scratch, undercutting the paper's reuse remark.
+"""
+
+from repro.coverage import CoverageEstimator
+from repro.ctl import parse_ctl
+from repro.ctl.actl import normalize_for_coverage
+from repro.fsm import ExplicitGraph
+from repro.mc import ModelChecker
+
+
+def _machine():
+    g = ExplicitGraph("chain", signals=["req", "ack"])
+    g.state("s0", labels={"req"}, initial=True)
+    g.state("s1", labels=set())
+    g.state("s2", labels={"ack"})
+    g.edge("s0", "s1")
+    g.edge("s1", "s2")
+    g.self_loop_terminal_states()
+    return g.to_fsm()
+
+
+class TestNormalizedMemoisation:
+    def test_af_and_desugared_until_share_one_entry(self):
+        mc = ModelChecker(_machine())
+        sugar = parse_ctl("AF ack")
+        desugared = parse_ctl("A [true U ack]")
+        first = mc.sat(sugar)
+        nodes_before = mc.fsm.manager.created_nodes
+        second = mc.sat(desugared)
+        assert first == second
+        # Pure cache hit: not a single BDD node allocated.
+        assert mc.fsm.manager.created_nodes == nodes_before
+        # One entry per distinct normalized (sub)formula — the two
+        # spellings share the single AU entry.
+        au_keys = [k for k in mc._sat_cache if type(k).__name__ == "AU"]
+        assert len(au_keys) == 1
+
+    def test_collapsed_propositional_spellings_share_entries(self):
+        mc = ModelChecker(_machine())
+        a = parse_ctl("AG (req -> AF ack)")
+        # Same formula, re-parsed: distinct objects, equal normal forms.
+        b = parse_ctl("AG (req -> A [true U ack])")
+        mc.sat(a)
+        nodes_before = mc.fsm.manager.created_nodes
+        mc.sat(b)
+        assert mc.fsm.manager.created_nodes == nodes_before
+
+    def test_verification_then_estimation_reuses_fixpoints(self):
+        """The cross-component path the fix is about: holds() during
+        verification, then the estimator querying the normalized form."""
+        fsm = _machine()
+        mc = ModelChecker(fsm)
+        prop = parse_ctl("AG (req -> AF ack)")
+        assert mc.holds(prop)
+        entries_after_verify = len(mc._sat_cache)
+        nodes_before = fsm.manager.created_nodes
+        # What the estimator asks for internally:
+        normalized = normalize_for_coverage(prop)
+        mc.sat(normalized)
+        assert fsm.manager.created_nodes == nodes_before
+        assert len(mc._sat_cache) == entries_after_verify
+        # And the full estimation flow re-verifies through the same cache.
+        estimator = CoverageEstimator(fsm, checker=mc)
+        estimator.covered_set(prop, "ack")
+        assert mc._sat_cache  # still populated, not rebuilt elsewhere
+
+    def test_results_unchanged_by_normalization(self):
+        fsm = _machine()
+        assert ModelChecker(fsm).holds(parse_ctl("AF ack"))
+        assert ModelChecker(fsm).holds(parse_ctl("A [true U ack]"))
+        assert not ModelChecker(fsm).holds(parse_ctl("AX ack"))
+
+    def test_memoize_disabled_still_normalizes_consistently(self):
+        fsm = _machine()
+        mc = ModelChecker(fsm, memoize=False)
+        assert mc.sat(parse_ctl("AF ack")) == mc.sat(parse_ctl("A [true U ack]"))
+        assert not mc._sat_cache
