@@ -21,6 +21,7 @@ from repro.circuits import (
     priority_buffer_lo_hole_property,
     priority_buffer_lo_properties,
 )
+from repro.analysis import Analysis
 from repro.coverage import CoverageEstimator
 from repro.mc import ModelChecker
 
@@ -29,21 +30,23 @@ from .conftest import emit
 
 def test_methodology_circuit1_bug_hunt(benchmark):
     def run():
-        buggy = build_priority_buffer(buggy=True)
-        checker = ModelChecker(buggy)
-        initial_pass = all(
-            checker.holds(p) for p in priority_buffer_lo_properties()
+        initial = Analysis.from_fsm(
+            build_priority_buffer(buggy=True),
+            priority_buffer_lo_properties(), observed="lo",
         )
-        initial_cov = CoverageEstimator(buggy, checker=checker).estimate(
-            priority_buffer_lo_properties(), observed="lo"
-        ).percentage
-        hole_prop_fails = not checker.holds(priority_buffer_lo_hole_property())
+        initial_pass = initial.holds()
+        initial_cov = initial.coverage().percentage
+        # The hole-closing property is checked on the *same* shared
+        # checker the facade owns — one model, one satisfaction cache.
+        hole_prop_fails = not initial.checker.holds(
+            priority_buffer_lo_hole_property()
+        )
 
-        fixed = build_priority_buffer(buggy=False)
-        fixed_checker = ModelChecker(fixed)
-        final_cov = CoverageEstimator(fixed, checker=fixed_checker).estimate(
-            priority_buffer_lo_augmented_properties(), observed="lo"
-        ).percentage
+        final = Analysis.from_fsm(
+            build_priority_buffer(buggy=False),
+            priority_buffer_lo_augmented_properties(), observed="lo",
+        )
+        final_cov = final.coverage().percentage
         return initial_pass, initial_cov, hole_prop_fails, final_cov
 
     initial_pass, initial_cov, hole_prop_fails, final_cov = benchmark(run)

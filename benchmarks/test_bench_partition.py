@@ -26,28 +26,29 @@ its table with ``python -m pytest benchmarks/test_bench_partition.py -s``.
 """
 
 from repro.circuits import build_circular_queue, build_pipeline
+from repro.engine import EngineConfig
 
 from .conftest import emit
 
 #: (label, builder) for the widened instances under test.
 MODELS = {
-    "queue d=32": lambda trans: build_circular_queue(depth=32, trans=trans),
-    "queue d=64": lambda trans: build_circular_queue(depth=64, trans=trans),
-    "pipeline s=8": lambda trans: build_pipeline(stages=8, trans=trans),
-    "pipeline s=12": lambda trans: build_pipeline(stages=12, trans=trans),
+    "queue d=32": lambda cfg: build_circular_queue(depth=32, config=cfg),
+    "queue d=64": lambda cfg: build_circular_queue(depth=64, config=cfg),
+    "pipeline s=8": lambda cfg: build_pipeline(stages=8, config=cfg),
+    "pipeline s=12": lambda cfg: build_pipeline(stages=12, config=cfg),
 }
 
 
 def _cold_start(build, trans):
     """Build the machine and take one forward image from the initial set."""
-    fsm = build(trans)
+    fsm = build(EngineConfig(trans=trans))
     fsm.image(fsm.init)
     return fsm.manager.created_nodes
 
 
 def _deep_reachability(build, trans):
     """Build the machine and run the full forward fixpoint."""
-    fsm = build(trans)
+    fsm = build(EngineConfig(trans=trans))
     fsm.reachable()
     return fsm.manager.created_nodes
 
@@ -106,7 +107,7 @@ def test_partition_reachability_queue_tradeoff(benchmark):
     def run():
         out = {}
         for trans in ("mono", "partitioned"):
-            fsm = build_circular_queue(depth=16, trans=trans)
+            fsm = build_circular_queue(depth=16, config=EngineConfig(trans=trans))
             reached = fsm.count_states(fsm.reachable())
             out[trans] = (reached, fsm.manager.created_nodes)
         return out

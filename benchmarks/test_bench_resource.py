@@ -22,7 +22,7 @@ import os
 import sys
 import time
 
-from repro.bdd import ResourcePolicy
+from repro.engine import EngineConfig
 from repro.circuits import build_pipeline
 from repro.coverage import CoverageEstimator
 from repro.ctl.parser import parse_ctl
@@ -42,9 +42,9 @@ GC_THRESHOLD = 300_000
 def test_deep_pipeline_reachability_and_coverage():
     """The previously-crashing case: >= 1400 levels end to end."""
     limit_before = sys.getrecursionlimit()
-    policy = ResourcePolicy(gc_node_threshold=GC_THRESHOLD)
+    config = EngineConfig(gc_threshold=GC_THRESHOLD)
     t0 = time.perf_counter()
-    fsm = build_pipeline(stages=DEEP_STAGES, policy=policy)
+    fsm = build_pipeline(stages=DEEP_STAGES, config=config)
     build_seconds = time.perf_counter() - t0
     levels = 2 * len(fsm.state_vars)
     if DEEP_STAGES >= 349:
@@ -99,17 +99,17 @@ def test_auto_gc_bounds_peak_memory():
     """GC on vs off, same mid-size workload: the peak drops, results don't."""
     stages = max(8, min(80, DEEP_STAGES // 4))
 
-    def run(policy):
-        fsm = build_pipeline(stages=stages, policy=policy)
+    def run(config):
+        fsm = build_pipeline(stages=stages, config=config)
         fsm.reachable()
         manager = fsm.manager
         return manager.peak_nodes, manager.gc_runs, fsm.count_states(fsm.reachable())
 
-    peak_off, gc_off, states_off = run(ResourcePolicy.disabled())
-    threshold = max(10_000, peak_off // 4)
-    peak_on, gc_on, states_on = run(
-        ResourcePolicy(gc_node_threshold=threshold)
+    peak_off, gc_off, states_off = run(
+        EngineConfig(gc_threshold=0, cache_threshold=0)
     )
+    threshold = max(10_000, peak_off // 4)
+    peak_on, gc_on, states_on = run(EngineConfig(gc_threshold=threshold))
 
     assert gc_off == 0
     assert gc_on >= 1
@@ -130,8 +130,7 @@ def test_gc_overhead_is_bounded():
     """The GC's own cost stays a small fraction of total runtime even at an
     intentionally tight threshold."""
     stages = max(8, min(60, DEEP_STAGES // 6))
-    policy = ResourcePolicy(gc_node_threshold=20_000)
-    fsm = build_pipeline(stages=stages, policy=policy)
+    fsm = build_pipeline(stages=stages, config=EngineConfig(gc_threshold=20_000))
     with WorkMeter(fsm.manager) as meter:
         fsm.reachable()
     stats = meter.stats

@@ -20,6 +20,7 @@ would nonetheless distort this particular apples-to-apples shape check
 """
 
 from repro.circuits import build_circular_queue, circular_queue_wrap_properties
+from repro.engine import EngineConfig
 from repro.circuits.circular_queue import circular_queue_wrap_stall_property
 from repro.coverage import CoverageEstimator
 from repro.mc import ModelChecker, WorkMeter
@@ -29,15 +30,19 @@ from .conftest import emit
 DEPTHS = [2, 4, 8]
 
 
+#: The sweep is pinned to the monolithic relation (see module docstring).
+MONO = EngineConfig(trans="mono")
+
+
 def _measure(depth):
     props = circular_queue_wrap_properties(depth=depth, stage="extended")
     props.append(circular_queue_wrap_stall_property(depth=depth))
     # Screen out properties that do not hold at this depth on a throwaway
     # manager so the measured run starts cold.
-    screen = ModelChecker(build_circular_queue(depth=depth, trans="mono"))
+    screen = ModelChecker(build_circular_queue(depth=depth, config=MONO))
     props = [p for p in props if screen.holds(p)]
 
-    fsm = build_circular_queue(depth=depth, trans="mono")
+    fsm = build_circular_queue(depth=depth, config=MONO)
     checker = ModelChecker(fsm)
     with WorkMeter(fsm.manager) as verify_meter:
         for prop in props:

@@ -29,24 +29,25 @@ from repro.circuits import (
     priority_buffer_hi_properties,
     priority_buffer_lo_properties,
 )
-from repro.coverage import CoverageEstimator
+from repro.analysis import Analysis
 from repro.expr import parse_expr
-from repro.mc import ModelChecker, WorkMeter
+from repro.mc import WorkMeter
 
 from .conftest import emit
 
 
 def _run_row(fsm, props, observed, dont_care=None):
     """Verify the suite, then estimate coverage; return (report, v_stats,
-    c_stats).  The checker is shared so estimation reuses sat sets, as the
-    paper's implementation memoised results from verification."""
-    checker = ModelChecker(fsm)
+    c_stats).  Driven through the Analysis facade — the estimator shares
+    the verification checker's sat sets, as the paper's implementation
+    memoised results from verification."""
+    analysis = Analysis.from_fsm(fsm, props, observed, dont_care)
     with WorkMeter(fsm.manager) as verify_meter:
-        for prop in props:
-            assert checker.holds(prop), f"property failed: {prop}"
-    estimator = CoverageEstimator(fsm, checker=checker)
+        assert analysis.holds(), (
+            f"properties failed: {[str(r.formula) for r in analysis.failing()]}"
+        )
     with WorkMeter(fsm.manager) as cover_meter:
-        report = estimator.estimate(props, observed=observed, dont_care=dont_care)
+        report = analysis.coverage()
     return report, verify_meter.stats, cover_meter.stats
 
 

@@ -9,57 +9,54 @@ and ``reset`` inputs, verified with properties of the form
 Model checking proves them exhaustively — yet the properties only *check*
 the counter value in the successors of their antecedent states.  This
 script measures exactly how much of the state space the increment suite
-covers, inspects the hole, and closes it.
+covers, inspects the hole, and closes it — all through the ``Analysis``
+facade, the library's one front door.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    CoverageEstimator,
-    ModelChecker,
-    build_counter,
-    counter_partial_properties,
-    counter_properties,
-    format_uncovered_traces,
-)
+from repro import Analysis
 
 
 def main() -> None:
-    # 1. Build the design.  Inputs become unconstrained state variables,
-    #    exactly as SMV folds them into the Kripke structure.
-    design = build_counter()
+    # 1. One front door: a registered paper circuit at a property stage.
+    #    "partial" is the increment-only suite from the paper's opening.
+    analysis = Analysis.builtin("counter", stage="partial")
+    design = analysis.fsm
     print(f"design: {design.name}, state variables: {design.state_vars}")
     print(f"reachable states: {design.count_states(design.reachable())}")
 
     # 2. Verify the increment-only suite.  Every property passes.
-    checker = ModelChecker(design)
-    partial = counter_partial_properties()
-    for prop in partial:
-        result = checker.check(prop)
+    for result in analysis.verify():
         status = "PASS" if result.holds else "FAIL"
-        print(f"  [{status}] {prop}")
+        print(f"  [{status}] {result.formula}")
 
-    # 3. Estimate coverage for the observed signal `count`.
-    estimator = CoverageEstimator(design, checker=checker)
-    report = estimator.estimate(partial, observed="count")
+    # 3. Estimate coverage for the observed signal `count`.  The estimate
+    #    reuses the checker's fixpoints from step 2 — the facade owns one
+    #    shared checker/estimator pair.
     print()
-    print(report.summary())
+    print(analysis.coverage().summary())
 
     # 4. The paper's methodology: trace into a hole to understand it.
     print()
-    print(format_uncovered_traces(report, count=1))
+    print(analysis.uncovered_traces(1))
     print()
     print(
         "The holes are the states no property checks: nothing verifies the\n"
         "counter under stall, reset, or the wraparound back to zero."
     )
 
-    # 5. Close the holes with the full suite.
-    full_report = estimator.estimate(counter_properties(), observed="count")
+    # 5. Close the holes with the full suite (the default stage).
+    full = Analysis.builtin("counter")
+    report = full.coverage()
     print()
     print(f"after adding stall/reset/wraparound properties: "
-          f"{full_report.percentage:.2f}% coverage")
-    assert full_report.is_fully_covered()
+          f"{report.percentage:.2f}% coverage")
+    assert report.is_fully_covered()
+
+    # A JSON-safe record of the run — config included — for reports:
+    result = full.result()
+    assert result.ok and result.config.trans == "partitioned"
 
 
 if __name__ == "__main__":

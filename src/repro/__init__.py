@@ -8,21 +8,30 @@ circuits.
 
 Quickstart::
 
-    from repro import build_counter, counter_properties, CoverageEstimator
+    from repro import Analysis
 
-    design = build_counter()
-    estimator = CoverageEstimator(design.fsm)
-    report = estimator.estimate(counter_properties(design), observed="count0")
-    print(report.summary())
+    analysis = Analysis.builtin("counter")
+    assert analysis.holds()
+    print(analysis.coverage().summary())
 """
 
 from ._version import __version__
 
-__all__ = ["__version__"]
+
+def _public_names():
+    from importlib import import_module
+
+    return list(import_module("repro._api").__all__)
 
 
 def __getattr__(name):
     """Lazily re-export the public API to keep import time low."""
+    if name == "__all__":
+        # Computed lazily for the same reason the re-exports are: building
+        # the list imports the full API aggregate.
+        value = ["__version__"] + _public_names()
+        globals()["__all__"] = value
+        return value
     if name.startswith("_"):
         raise AttributeError(f"module 'repro' has no attribute {name!r}")
     from importlib import import_module
@@ -37,7 +46,4 @@ def __getattr__(name):
 
 
 def __dir__():
-    from importlib import import_module
-
-    api = import_module("repro._api")
-    return sorted(set(globals()) | set(api.__all__))
+    return sorted(set(globals()) | set(_public_names()) | {"__all__"})

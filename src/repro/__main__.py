@@ -1,0 +1,13 @@
+"""``python -m repro`` — the packaged CLI without the console script.
+
+Identical to the ``repro-coverage`` entry point (:func:`repro.cli.main`);
+``python -m repro --version`` reports the version from
+:mod:`repro._version`.
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 """Aggregated public API, lazily re-exported as the top-level ``repro``
 namespace (see ``repro/__init__.py``)."""
 
+from .analysis import Analysis, AnalysisResult
 from .bdd import (
     BDDManager,
     Function,
@@ -57,13 +58,16 @@ from .ctl import (
     observability_transform,
     parse_ctl,
 )
+from .engine import DEFAULT_CONFIG, EngineConfig
 from .errors import (
     BDDError,
+    ConfigError,
     CoverageError,
     EvaluationError,
     ModelError,
     NotInSubsetError,
     ParseError,
+    ReportError,
     ReproError,
     VerificationError,
 )
@@ -96,6 +100,7 @@ from .suite import (
     default_jobs,
     discover_rml,
     execute_job,
+    read_report,
     rml_job,
     run_jobs,
     suite_report,
@@ -103,6 +108,8 @@ from .suite import (
 )
 
 __all__ = [
+    # facade + engine configuration
+    "Analysis", "AnalysisResult", "EngineConfig", "DEFAULT_CONFIG",
     # bdd
     "BDDManager", "Function", "ResourcePolicy", "to_dot", "sift",
     "set_order", "swap_adjacent",
@@ -141,7 +148,9 @@ __all__ = [
     "CoverageJob", "JobResult", "BuiltinTarget", "BUILTIN_TARGETS",
     "build_builtin", "builtin_jobs", "default_jobs", "discover_rml",
     "rml_job", "execute_job", "run_jobs", "suite_report", "write_report",
+    "read_report",
     # errors
     "ReproError", "BDDError", "ParseError", "EvaluationError", "ModelError",
-    "NotInSubsetError", "VerificationError", "CoverageError",
+    "NotInSubsetError", "VerificationError", "CoverageError", "ConfigError",
+    "ReportError",
 ]

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..bdd import ResourcePolicy
+from ..engine import EngineConfig, _coalesce_trans
 from ..ctl.ast import CtlFormula
 from ..ctl.parser import parse_ctl
 from ..expr.arith import mux
@@ -52,8 +53,9 @@ HOLD_CYCLES = 3
 
 def build_pipeline(
     stages: int = 3,
-    trans: str = "partitioned",
+    trans: Optional[str] = None,
     policy: Optional[ResourcePolicy] = None,
+    config: Optional[EngineConfig] = None,
 ) -> FSM:
     """Build the ``stages``-stage pipeline with the output hold state machine.
 
@@ -64,10 +66,11 @@ def build_pipeline(
     15-variable final model.  Larger ``stages`` values widen the datapath
     with more ``vK,dK`` pairs (the property suites below are written for
     the 3-stage shape only); the partition benchmark uses widened instances
-    to measure mono vs partitioned image costs.  ``trans`` selects the
-    transition-relation mode (see
+    to measure mono vs partitioned image costs.  ``config`` carries the
+    engine knobs; ``trans=`` directly is deprecated (see
     :meth:`~repro.fsm.builder.CircuitBuilder.build`).
     """
+    config = _coalesce_trans("build_pipeline", config, trans)
     if stages < 2:
         raise ValueError("the pipeline needs at least 2 stages")
     b = CircuitBuilder(f"pipeline{stages}")
@@ -101,7 +104,7 @@ def build_pipeline(
     b.define("output", f"d{stages}")
     b.define("out_valid", f"v{stages}")
     b.fairness("!stall")
-    return b.build(trans=trans, policy=policy)
+    return b.build(config=config, policy=policy)
 
 
 def pipeline_output_properties() -> List[CtlFormula]:

@@ -37,6 +37,7 @@ import math
 from typing import List, Optional
 
 from ..bdd import ResourcePolicy
+from ..engine import EngineConfig, _coalesce_trans
 from ..ctl.ast import CtlAnd, CtlFormula
 from ..ctl.parser import parse_ctl
 from ..expr.arith import add_words_bits, conditional_delta_bits, mux
@@ -63,8 +64,9 @@ def _width_for(count: int) -> int:
 
 def build_priority_buffer(
     capacity: int = DEFAULT_CAPACITY, buggy: bool = False,
-    trans: str = "partitioned",
+    trans: Optional[str] = None,
     policy: Optional[ResourcePolicy] = None,
+    config: Optional[EngineConfig] = None,
 ) -> FSM:
     """Build the priority buffer.
 
@@ -76,10 +78,12 @@ def build_priority_buffer(
         Plant the paper's escaped bug: a low-priority arrival is dropped
         whenever the buffer is completely empty (the designer's acceptance
         logic short-circuits on the empty condition).
-    trans:
-        Transition-relation mode (see
+    config:
+        Engine knobs (transition mode, resource thresholds); ``trans=``
+        directly is deprecated (see
         :meth:`~repro.fsm.builder.CircuitBuilder.build`).
     """
+    config = _coalesce_trans("build_priority_buffer", config, trans)
     width = _width_for(capacity)
     b = CircuitBuilder(
         f"priority_buffer{capacity}{'_buggy' if buggy else ''}"
@@ -126,7 +130,7 @@ def build_priority_buffer(
         b.define(f"total{i}", expr)
         total_names.append(f"total{i}")
     b.word("total", total_names)
-    return b.build(trans=trans, policy=policy)
+    return b.build(config=config, policy=policy)
 
 
 def _bundle(parts: List[CtlFormula]) -> CtlFormula:

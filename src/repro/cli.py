@@ -18,8 +18,14 @@ Suites (every registered job — builtin targets at every stage plus
     repro-coverage suite --jobs 4
     repro-coverage suite examples --jobs 4 --json coverage.json
 
+All three subcommands are thin argument adapters over one shared code
+path: they construct an :class:`~repro.analysis.Analysis` (the library's
+front door) from an :class:`~repro.engine.EngineConfig` parsed by one
+shared parent parser, and render its results.  ``python -m repro`` is an
+alias for this entry point.
+
 Exit codes: 0 success, 1 verification/coverage failure, 2 usage error
-(unknown target, invalid stage, parse error).
+(unknown target, invalid stage, parse error, invalid engine config).
 """
 
 from __future__ import annotations
@@ -30,11 +36,10 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .bdd import ResourcePolicy
-from .coverage import CoverageEstimator, format_uncovered_traces
-from .errors import ParseError, ReproError
-from .lang import elaborate, load_module
-from .mc import ModelChecker
+from ._version import __version__
+from .analysis import Analysis
+from .engine import EngineConfig
+from .errors import ConfigError, ModelError, ParseError, ReproError
 from .suite import (
     BUILTIN_TARGETS,
     build_builtin,
@@ -51,8 +56,7 @@ def _legacy_builder(name: str) -> Callable:
     def build(args):
         return build_builtin(
             name, stage=args.stage, buggy=args.buggy,
-            trans=getattr(args, "trans", "partitioned"),
-            policy=_policy_from_args(args),
+            config=EngineConfig.from_args(args),
         )
 
     return build
@@ -70,6 +74,27 @@ TARGETS: Dict[str, Tuple[Callable, List[str], str]] = {
 }
 
 
+# ----------------------------------------------------------------------
+# Parsers — one shared parent carries the engine flags for every
+# subcommand; each subcommand adds only its own arguments.
+# ----------------------------------------------------------------------
+
+
+def _engine_parent() -> argparse.ArgumentParser:
+    """The shared parent parser: every engine knob, defined once, from the
+    config object itself."""
+    parent = argparse.ArgumentParser(add_help=False)
+    EngineConfig.add_cli_arguments(parent)
+    return parent
+
+
+def _add_traces_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--traces", type=int, default=0, metavar="N",
+        help="print traces to up to N uncovered states",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-coverage",
@@ -77,6 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Coverage estimation for symbolic model checking "
             "(DAC'99 reproduction)"
         ),
+        parents=[_engine_parent()],
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}",
     )
     parser.add_argument("target", nargs="?", help="circuit/signal to analyse")
     parser.add_argument("--list", action="store_true", help="list targets")
@@ -85,75 +114,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--buggy", action="store_true",
         help="use the buggy priority-buffer variant (Circuit 1 narrative)",
     )
-    parser.add_argument(
-        "--traces", type=int, default=0, metavar="N",
-        help="print traces to up to N uncovered states",
-    )
-    _add_trans_flag(parser)
-    _add_resource_flags(parser)
+    _add_traces_flag(parser)
     return parser
-
-
-def _add_trans_flag(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--trans", choices=["mono", "partitioned"], default="partitioned",
-        help=(
-            "transition-relation mode: 'partitioned' (per-latch conjuncts "
-            "with early quantification, the default) or 'mono' (one "
-            "monolithic relation BDD); coverage results are identical, "
-            "only image-computation cost differs"
-        ),
-    )
-
-
-def _add_resource_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--gc-threshold", type=int, default=None, metavar="NODES",
-        help=(
-            "live-BDD-node threshold for automatic garbage collection "
-            "(0 disables auto-GC; default: the engine's built-in threshold); "
-            "a cost/memory knob — coverage results are identical at any "
-            "setting"
-        ),
-    )
-    parser.add_argument(
-        "--auto-reorder", action="store_true",
-        help=(
-            "enable automatic variable reordering (Rudell sifting) when the "
-            "live BDD outgrows its threshold; off by default because "
-            "reordering may change the rendering order of --traces output"
-        ),
-    )
-
-
-def _policy_from_args(args) -> Optional[ResourcePolicy]:
-    """The resource policy the CLI flags describe (None: engine default)."""
-    gc_threshold = getattr(args, "gc_threshold", None)
-    auto_reorder = bool(getattr(args, "auto_reorder", False))
-    if gc_threshold is None and not auto_reorder:
-        return None
-    kwargs = {"auto_reorder": auto_reorder}
-    if gc_threshold is not None:
-        if gc_threshold < 0:
-            # Usage error: same exit code as any other bad flag value.
-            print("error: --gc-threshold must be >= 0", file=sys.stderr)
-            raise SystemExit(2)
-        kwargs["gc_node_threshold"] = gc_threshold
-    return ResourcePolicy(**kwargs)
 
 
 def _build_run_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-coverage run",
         description="estimate coverage for one .rml model file",
+        parents=[_engine_parent()],
     )
     parser.add_argument("file", help="path to a .rml model file")
-    parser.add_argument(
-        "--traces", type=int, default=0, metavar="N",
-        help="print traces to up to N uncovered states",
-    )
-    _add_trans_flag(parser)
-    _add_resource_flags(parser)
+    _add_traces_flag(parser)
     return parser
 
 
@@ -164,6 +136,7 @@ def _build_suite_parser() -> argparse.ArgumentParser:
             "run every registered coverage job: builtin targets at every "
             "stage, plus .rml files discovered on disk"
         ),
+        parents=[_engine_parent()],
     )
     parser.add_argument(
         "directory", nargs="?",
@@ -180,34 +153,29 @@ def _build_suite_parser() -> argparse.ArgumentParser:
         "--no-builtins", action="store_true",
         help="run only discovered .rml jobs",
     )
-    _add_trans_flag(parser)
-    _add_resource_flags(parser)
     return parser
 
 
 # ----------------------------------------------------------------------
-# Shared verification + estimation flow
+# Shared reporting flow — every subcommand renders an Analysis this way.
 # ----------------------------------------------------------------------
 
 
-def _verify_and_report(fsm, props, observed, dont_care, traces: int) -> int:
-    checker = ModelChecker(fsm)
-    failing = [p for p in props if not checker.holds(p)]
+def _report_analysis(analysis: Analysis, traces: int) -> int:
+    """Verify, estimate, and print — the one rendering of the pipeline."""
+    failing = analysis.failing()
     if failing:
-        print(f"{len(failing)} propert(ies) FAIL on {fsm.name!r}:")
-        for prop in failing:
-            print(f"  {prop}")
-            result = checker.check(prop)
+        print(f"{len(failing)} propert(ies) FAIL on {analysis.fsm.name!r}:")
+        for result in failing:
+            print(f"  {result.formula}")
             if result.counterexample:
                 for k, state in enumerate(result.counterexample):
-                    print(f"    cycle {k}: {fsm.format_state(state)}")
+                    print(f"    cycle {k}: {analysis.fsm.format_state(state)}")
         print("coverage is only defined for verified properties; aborting.")
         return 1
-    estimator = CoverageEstimator(fsm, checker=checker)
-    report = estimator.estimate(props, observed=observed, dont_care=dont_care)
-    print(report.summary())
+    print(analysis.coverage().summary())
     if traces > 0:
-        print(format_uncovered_traces(report, count=traces))
+        print(analysis.uncovered_traces(traces))
     return 0
 
 
@@ -216,43 +184,59 @@ def _verify_and_report(fsm, props, observed, dont_care, traces: int) -> int:
 # ----------------------------------------------------------------------
 
 
-def _parse_error_message(exc: ParseError) -> str:
-    # Module errors already carry a file:line:column prefix.
-    return str(exc)
+def _main_target(argv: List[str]) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.target:
+        print("available targets:")
+        for name, (_, stages, description) in TARGETS.items():
+            stage_note = f" (stages: {', '.join(stages)})" if stages else ""
+            print(f"  {name:12s} {description}{stage_note}")
+        print("subcommands:")
+        print("  run <file.rml>     estimate coverage for a model file")
+        print("  suite [dir]        run every registered job (see --help)")
+        return 0
+    target = BUILTIN_TARGETS.get(args.target)
+    if target is None:
+        print(f"unknown target {args.target!r}; try --list", file=sys.stderr)
+        return 2
+    if args.stage is not None and args.stage not in target.stages:
+        valid = (
+            ", ".join(target.stages)
+            if target.stages
+            else "none (target takes no --stage)"
+        )
+        print(
+            f"invalid stage {args.stage!r} for target {args.target!r}; "
+            f"valid stages: {valid}",
+            file=sys.stderr,
+        )
+        return 2
+    config = EngineConfig.from_args(args)
+    try:
+        analysis = Analysis.builtin(
+            args.target, stage=args.stage, buggy=args.buggy, config=config
+        )
+        return _report_analysis(analysis, args.traces)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _main_run(argv: List[str]) -> int:
     args = _build_run_parser().parse_args(argv)
+    config = EngineConfig.from_args(args)
     try:
-        model = elaborate(
-            load_module(args.file), trans=args.trans,
-            policy=_policy_from_args(args),
-        )
+        analysis = Analysis.from_rml(Path(args.file), config=config)
     except OSError as exc:
         print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
         return 2
-    except ParseError as exc:
-        print(f"error: {_parse_error_message(exc)}", file=sys.stderr)
-        return 2
-    if not model.observed:
-        print(
-            f"error: {args.file}: module {model.module.name!r} declares no "
-            f"OBSERVED signals (add e.g. 'OBSERVED <signal>;')",
-            file=sys.stderr,
-        )
-        return 2
-    if not model.specs:
-        print(
-            f"error: {args.file}: module {model.module.name!r} declares no "
-            f"SPEC properties",
-            file=sys.stderr,
-        )
+    except (ParseError, ModelError) as exc:
+        # Parse errors carry file:line:column; model errors (no OBSERVED /
+        # SPEC declarations) carry the file name.
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        return _verify_and_report(
-            model.fsm, model.specs, model.observed, model.dont_care,
-            args.traces,
-        )
+        return _report_analysis(analysis, args.traces)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -260,9 +244,9 @@ def _main_run(argv: List[str]) -> int:
 
 def _main_suite(argv: List[str]) -> int:
     args = _build_suite_parser().parse_args(argv)
-    # Validate the resource flags up front: one usage error beats every
+    # Validate the engine flags up front: one usage error beats every
     # worker failing with the same message after fan-out.
-    _policy_from_args(args)
+    config = EngineConfig.from_args(args)
     directory = args.directory
     if directory is None and Path("examples").is_dir():
         directory = "examples"
@@ -271,8 +255,7 @@ def _main_suite(argv: List[str]) -> int:
         return 2
     jobs = default_jobs(
         rml_dir=directory, include_builtins=not args.no_builtins,
-        trans=args.trans, gc_threshold=args.gc_threshold,
-        auto_reorder=args.auto_reorder,
+        config=config,
     )
     if not jobs:
         print("error: no jobs registered", file=sys.stderr)
@@ -294,42 +277,16 @@ def _main_suite(argv: List[str]) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] == "run":
-        return _main_run(argv[1:])
-    if argv and argv[0] == "suite":
-        return _main_suite(argv[1:])
-    args = build_parser().parse_args(argv)
-    if args.list or not args.target:
-        print("available targets:")
-        for name, (_, stages, description) in TARGETS.items():
-            stage_note = f" (stages: {', '.join(stages)})" if stages else ""
-            print(f"  {name:12s} {description}{stage_note}")
-        print("subcommands:")
-        print("  run <file.rml>     estimate coverage for a model file")
-        print("  suite [dir]        run every registered job (see --help)")
-        return 0
-    entry = TARGETS.get(args.target)
-    if entry is None:
-        print(f"unknown target {args.target!r}; try --list", file=sys.stderr)
-        return 2
-    _builder, stages, _desc = entry
-    if args.stage is not None and args.stage not in stages:
-        valid = ", ".join(stages) if stages else "none (target takes no --stage)"
-        print(
-            f"invalid stage {args.stage!r} for target {args.target!r}; "
-            f"valid stages: {valid}",
-            file=sys.stderr,
-        )
-        return 2
     try:
-        fsm, props, observed, dont_care = build_builtin(
-            args.target, stage=args.stage, buggy=args.buggy, trans=args.trans,
-            policy=_policy_from_args(args),
-        )
-        return _verify_and_report(fsm, props, observed, dont_care, args.traces)
-    except ReproError as exc:
+        if argv and argv[0] == "run":
+            return _main_run(argv[1:])
+        if argv and argv[0] == "suite":
+            return _main_suite(argv[1:])
+        return _main_target(argv)
+    except ConfigError as exc:
+        # The one place invalid engine configuration becomes an exit code.
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -80,3 +80,23 @@ class VerificationError(ReproError):
 
 class CoverageError(ReproError):
     """Raised for invalid coverage requests (unknown observed signal, etc.)."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Raised for invalid engine configurations.
+
+    :class:`~repro.engine.EngineConfig.validate` raises this for out-of-range
+    knobs (negative GC thresholds, unknown transition modes, ...).  It
+    subclasses :class:`ValueError` as well as :class:`ReproError` so callers
+    that predate the config redesign — which received ``ValueError`` from the
+    scattered per-knob validators — keep working unchanged.
+    """
+
+
+class ReportError(ReproError):
+    """Raised when a suite JSON report cannot be consumed.
+
+    :func:`~repro.suite.runner.read_report` raises this for missing or
+    mismatched ``schema`` identifiers (e.g. a ``repro-coverage-suite/v1``
+    document handed to the v2 reader) and for structurally broken documents.
+    """

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..bdd import BDDManager, Function, ResourcePolicy
+from ..engine import EngineConfig, _coalesce_trans
 from ..errors import ModelError
 from ..expr.ast import Expr, Var
 from ..expr.bitvector import WordTable, int_to_bits, resolve_words
@@ -29,7 +30,6 @@ from ..expr.parser import parse_expr
 from .fsm import FSM, NEXT_SUFFIX
 from .partition import (
     TRANS_MONO,
-    TRANS_PARTITIONED,
     TransitionPartition,
     validate_trans_mode,
 )
@@ -171,8 +171,10 @@ class CircuitBuilder:
     def build(
         self,
         manager: Optional[BDDManager] = None,
-        trans: str = TRANS_PARTITIONED,
+        config: Optional[EngineConfig] = None,
         policy: Optional[ResourcePolicy] = None,
+        *,
+        trans: Optional[str] = None,
     ) -> FSM:
         """Compile the accumulated description into an :class:`FSM`.
 
@@ -180,18 +182,36 @@ class CircuitBuilder:
         ``define`` chains (rejecting cycles), builds one transition-relation
         conjunct per latch, and symbolises fairness.
 
-        ``trans`` selects the image-execution mode of the resulting FSM:
-        ``"partitioned"`` (default) keeps the per-latch conjuncts separate
-        behind an early-quantification schedule; ``"mono"`` conjoins them
-        into the classic monolithic relation up front.  Both machines
-        compute identical sets (see ``tests/fsm/test_trans_equivalence.py``).
+        ``config`` (an :class:`~repro.engine.EngineConfig`) carries every
+        engine knob: its ``trans`` mode selects the image-execution mode of
+        the resulting FSM — ``"partitioned"`` (default) keeps the per-latch
+        conjuncts separate behind an early-quantification schedule,
+        ``"mono"`` conjoins them into the classic monolithic relation up
+        front; both machines compute identical sets (see
+        ``tests/fsm/test_trans_equivalence.py``) — and its resource knobs
+        compile to the manager's :class:`~repro.bdd.policy.ResourcePolicy`.
 
-        ``policy`` configures the BDD manager's automatic resource manager
-        (GC thresholds, the auto-sift hook — see
-        :class:`~repro.bdd.policy.ResourcePolicy`); when a ``manager`` is
-        supplied instead, the policy is installed on it.
+        ``policy`` is the low-level escape hatch for resource knobs beyond
+        the config's portable subset (per-cache growth factors, compose
+        generations, ...); when given it overrides the config's resource
+        knobs.  When a ``manager`` is supplied, the policy is installed on
+        it.
+
+        ``trans=`` as a direct keyword is deprecated — pass
+        ``config=EngineConfig(trans=...)``.
         """
-        validate_trans_mode(trans)
+        if isinstance(config, str):
+            # Legacy positional call: build(manager, "mono") bound the
+            # mode string to what is now the config slot.
+            config, trans = None, config
+        if trans is not None:
+            # Preserve the legacy contract (ModelError on a bad mode)
+            # before folding into the config.
+            validate_trans_mode(trans)
+        config = _coalesce_trans("CircuitBuilder.build", config, trans)
+        trans = validate_trans_mode(config.trans)
+        if policy is None:
+            policy = config.policy()
         if manager is None:
             manager = BDDManager(policy=policy)
         elif policy is not None:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from ..bdd import ResourcePolicy
+from ..engine import EngineConfig, _coalesce_trans
 from ..ctl.ast import CtlFormula, formula_atoms
 from ..errors import ParseError
 from ..expr.arith import add_const_bits, add_words_bits, const_bits, mux
@@ -62,11 +63,11 @@ class _Elaborator:
     def __init__(
         self,
         module: Module,
-        trans: str = "partitioned",
+        config: Optional[EngineConfig] = None,
         policy: Optional[ResourcePolicy] = None,
     ):
         self.module = module
-        self.trans = trans
+        self.config = config if config is not None else EngineConfig()
         self.policy = policy
         self.filename = module.filename or "<module>"
         #: word name -> LSB-first bit names (vars and word-sum defines)
@@ -346,7 +347,7 @@ class _Elaborator:
 
         return ElaboratedModel(
             module=module,
-            fsm=builder.build(trans=self.trans, policy=self.policy),
+            fsm=builder.build(config=self.config, policy=self.policy),
             specs=specs,
             observed=list(module.observed),
             dont_care=module.dont_care,
@@ -373,18 +374,24 @@ class _Elaborator:
 
 def elaborate(
     module: Module,
-    trans: str = "partitioned",
+    trans: Optional[str] = None,
     policy: Optional[ResourcePolicy] = None,
+    config: Optional[EngineConfig] = None,
 ) -> ElaboratedModel:
     """Lower ``module`` to an :class:`ElaboratedModel` (FSM + properties).
 
-    ``trans`` selects the FSM's transition-relation mode — ``"partitioned"``
-    (default, per-latch conjuncts with early quantification) or ``"mono"``
-    (one relation BDD); ``policy`` configures the BDD manager's automatic
-    resource manager; see :meth:`~repro.fsm.builder.CircuitBuilder.build`.
+    ``config`` (an :class:`~repro.engine.EngineConfig`) carries the engine
+    knobs: the FSM's transition-relation mode — ``"partitioned"`` (default,
+    per-latch conjuncts with early quantification) or ``"mono"`` (one
+    relation BDD) — and the resource thresholds compiled into the BDD
+    manager's policy.  ``policy`` optionally overrides the config's
+    resource knobs with a full :class:`~repro.bdd.policy.ResourcePolicy`;
+    ``trans=`` directly is deprecated (see
+    :meth:`~repro.fsm.builder.CircuitBuilder.build`).
 
     Raises :class:`~repro.errors.ParseError` with source location on any
     validation failure (unknown signals, width mismatches, non-exhaustive
     cases, init on a free input, ...).
     """
-    return _Elaborator(module, trans=trans, policy=policy).run()
+    config = _coalesce_trans("elaborate", config, trans)
+    return _Elaborator(module, config=config, policy=policy).run()

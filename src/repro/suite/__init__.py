@@ -1,18 +1,20 @@
 """``repro.suite`` — first-class, parallel suites of coverage jobs.
 
 A :class:`CoverageJob` names a model (builtin target or ``.rml`` file), a
-property stage, and observed signals; the registry
+property stage, and an :class:`~repro.engine.EngineConfig`; the registry
 (:mod:`repro.suite.registry`) merges the built-in circuits with ``.rml``
 files discovered on disk; and the runner (:mod:`repro.suite.runner`) fans
 jobs out across a process pool and collects JSON-ready results.
 
     >>> from repro.suite import builtin_jobs, run_jobs, suite_report
     >>> jobs = builtin_jobs()
-    >>> jobs[0].kind, jobs[0].trans
+    >>> jobs[0].kind, jobs[0].config.trans
     ('builtin', 'partitioned')
 
 Execute with ``run_jobs(jobs, max_workers=4)`` and serialise with
-``suite_report(results)`` — see the README's suite-runner section.
+``suite_report(results)`` — see the README's suite-runner section.  Each
+worker drives the shared :class:`~repro.analysis.Analysis` facade, so
+suite numbers are produced by exactly the code path the CLI uses.
 """
 
 from .jobs import CoverageJob, JobResult
@@ -27,8 +29,10 @@ from .registry import (
 )
 from .runner import (
     JSON_SCHEMA_ID,
+    JSON_SCHEMA_ID_V1,
     execute_job,
     format_results,
+    read_report,
     run_jobs,
     suite_report,
     write_report,
@@ -45,8 +49,10 @@ __all__ = [
     "discover_rml",
     "rml_job",
     "JSON_SCHEMA_ID",
+    "JSON_SCHEMA_ID_V1",
     "execute_job",
     "format_results",
+    "read_report",
     "run_jobs",
     "suite_report",
     "write_report",

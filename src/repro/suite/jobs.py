@@ -1,16 +1,25 @@
 """The suite job model: one coverage estimation run per job.
 
 A :class:`CoverageJob` is a *description* of work — model source (a builtin
-target name or ``.rml`` text), property stage, and observed signals — and a
-:class:`JobResult` is its JSON-safe outcome.  Both are plain picklable
-dataclasses so jobs fan out across a ``ProcessPoolExecutor`` (BDD managers
-are per-process state, which makes jobs embarrassingly parallel).
+target name or ``.rml`` text), property stage, observed signals, and the
+:class:`~repro.engine.EngineConfig` to run under — and its outcome is an
+:class:`~repro.analysis.AnalysisResult` (re-exported here under its
+historical name :data:`JobResult`).  Both are plain picklable values so
+jobs fan out across a ``ProcessPoolExecutor`` (BDD managers are
+per-process state, which makes jobs embarrassingly parallel).
+
+The pre-``EngineConfig`` flat knob fields (``trans``, ``gc_threshold``,
+``auto_reorder``) remain accepted as deprecated constructor keywords and
+readable as deprecated properties; both warn and delegate to ``config``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Optional
+
+from ..analysis import AnalysisResult
+from ..engine import EngineConfig, _UNSET, _coalesce_flat, _warn_deprecated
 
 __all__ = ["CoverageJob", "JobResult"]
 
@@ -18,20 +27,23 @@ __all__ = ["CoverageJob", "JobResult"]
 KIND_BUILTIN = "builtin"
 KIND_RML = "rml"
 
+#: The JSON-safe outcome of one executed job.  Historically a separate
+#: class; now exactly the facade's result type.
+JobResult = AnalysisResult
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, init=False)
 class CoverageJob:
-    """One (model, property stage, observed signals) unit of work.
+    """One (model, property stage, engine config) unit of work.
 
     ``kind`` selects the model source: ``"builtin"`` re-creates a registered
     circuit (``target`` + ``stage`` + ``buggy``) inside the worker process;
     ``"rml"`` parses and elaborates ``source`` (with ``path`` as the
     file name for error messages).  Observed signals and don't-cares come
-    from the target definition or the module text respectively.  ``trans``
-    is the transition-relation mode the worker builds the FSM with
-    (``"partitioned"`` — the default — or ``"mono"``); both modes produce
-    identical coverage results, the mode only changes how images are
-    computed.
+    from the target definition or the module text respectively.  ``config``
+    carries every engine knob (transition-relation mode, GC thresholds,
+    auto-reorder); all knobs are cost knobs — coverage results are
+    identical under any config.
     """
 
     name: str
@@ -41,103 +53,77 @@ class CoverageJob:
     buggy: bool = False
     path: Optional[str] = None
     source: Optional[str] = None
-    trans: str = "partitioned"
-    #: BDD auto-GC live-node threshold for the worker's resource policy
-    #: (None: engine default; 0: disable automatic GC).  Like ``trans``,
-    #: a cost knob — coverage results are identical at any setting.
-    gc_threshold: Optional[int] = None
-    #: Enable the worker's automatic variable-sifting hook (opt-in).
-    auto_reorder: bool = False
+    config: EngineConfig = field(default_factory=EngineConfig)
 
-    def describe(self) -> str:
-        trans = "" if self.trans == "partitioned" else f" --trans {self.trans}"
-        if self.gc_threshold is not None:
-            trans += f" --gc-threshold {self.gc_threshold}"
-        if self.auto_reorder:
-            trans += " --auto-reorder"
-        if self.kind == KIND_RML:
-            return (self.path or f"<rml:{self.name}>") + trans
-        stage = f" --stage {self.stage}" if self.stage else ""
-        buggy = " --buggy" if self.buggy else ""
-        return f"{self.target}{stage}{buggy}{trans}"
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        target: Optional[str] = None,
+        stage: Optional[str] = None,
+        buggy: bool = False,
+        path: Optional[str] = None,
+        source: Optional[str] = None,
+        config: Optional[EngineConfig] = None,
+        trans=_UNSET,
+        gc_threshold=_UNSET,
+        auto_reorder=_UNSET,
+    ):
+        config = _coalesce_flat(
+            "CoverageJob", config, trans, gc_threshold, auto_reorder
+        )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "stage", stage)
+        object.__setattr__(self, "buggy", buggy)
+        object.__setattr__(self, "path", path)
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "config", config)
 
-
-@dataclass
-class JobResult:
-    """Outcome of one executed job — primitives only, so it survives both
-    pickling back from a worker process and JSON serialisation.
-
-    ``status`` is ``"ok"`` (verified, coverage estimated), ``"fail"``
-    (at least one property failed model checking — coverage undefined), or
-    ``"error"`` (the job raised: parse error, bad observed signal, ...).
-    """
-
-    name: str
-    kind: str
-    status: str
-    model: Optional[str] = None
-    stage: Optional[str] = None
-    trans: str = "partitioned"
-    path: Optional[str] = None
-    observed: List[str] = field(default_factory=list)
-    properties: int = 0
-    percentage: Optional[float] = None
-    covered_states: Optional[int] = None
-    space_states: Optional[int] = None
-    uncovered_states: Optional[int] = None
-    failing_properties: List[str] = field(default_factory=list)
-    error: Optional[str] = None
-    seconds: float = 0.0
-    nodes_created: int = 0
-    #: Garbage collections the worker's BDD manager ran during the job.
-    gc_runs: int = 0
-    #: Wall-clock seconds spent inside those collections (GC overhead).
-    gc_seconds: float = 0.0
-    #: The manager's live-node high-water mark — the job's memory bound.
-    peak_live_nodes: int = 0
+    # Deprecated flat-field views -------------------------------------
 
     @property
-    def ok(self) -> bool:
-        return self.status == "ok"
+    def trans(self) -> str:
+        """Deprecated: read ``job.config.trans`` instead."""
+        _warn_deprecated(
+            "CoverageJob.trans is deprecated; read job.config.trans",
+            stacklevel=3,
+        )
+        return self.config.trans
 
-    def to_json(self) -> Dict:
-        """The per-job object of the suite JSON report."""
-        return {
-            "name": self.name,
-            "kind": self.kind,
-            "status": self.status,
-            "model": self.model,
-            "stage": self.stage,
-            "trans": self.trans,
-            "path": self.path,
-            "observed": list(self.observed),
-            "properties": self.properties,
-            "percentage": self.percentage,
-            "covered_states": self.covered_states,
-            "space_states": self.space_states,
-            "uncovered_states": self.uncovered_states,
-            "failing_properties": list(self.failing_properties),
-            "error": self.error,
-            "seconds": round(self.seconds, 6),
-            "nodes_created": self.nodes_created,
-            "gc_runs": self.gc_runs,
-            "gc_seconds": round(self.gc_seconds, 6),
-            "peak_live_nodes": self.peak_live_nodes,
-        }
+    @property
+    def gc_threshold(self) -> Optional[int]:
+        """Deprecated: read ``job.config.gc_threshold`` instead."""
+        _warn_deprecated(
+            "CoverageJob.gc_threshold is deprecated; read "
+            "job.config.gc_threshold",
+            stacklevel=3,
+        )
+        return self.config.gc_threshold
 
-    def format_line(self) -> str:
-        """One human-readable summary line."""
-        if self.status == "ok":
-            detail = (
-                f"{self.percentage:6.2f}%  "
-                f"({self.covered_states}/{self.space_states} states, "
-                f"{self.properties} properties, {self.seconds:.2f}s)"
-            )
-        elif self.status == "fail":
-            detail = (
-                f"FAIL    ({len(self.failing_properties)} of "
-                f"{self.properties} properties fail verification)"
-            )
-        else:
-            detail = f"ERROR   ({self.error})"
-        return f"{self.name:24s} {detail}"
+    @property
+    def auto_reorder(self) -> bool:
+        """Deprecated: read ``job.config.auto_reorder`` instead."""
+        _warn_deprecated(
+            "CoverageJob.auto_reorder is deprecated; read "
+            "job.config.auto_reorder",
+            stacklevel=3,
+        )
+        return self.config.auto_reorder
+
+    def describe(self) -> str:
+        """The job as the CLI invocation that reproduces it.
+
+        The engine flags are regenerated from
+        :meth:`~repro.engine.EngineConfig.to_cli_args`, so re-parsing the
+        description yields the job's exact config (see the round-trip test
+        in ``tests/suite/test_jobs.py``).
+        """
+        flags = " ".join(self.config.to_cli_args())
+        flags = f" {flags}" if flags else ""
+        if self.kind == KIND_RML:
+            return (self.path or f"<rml:{self.name}>") + flags
+        stage = f" --stage {self.stage}" if self.stage else ""
+        buggy = " --buggy" if self.buggy else ""
+        return f"{self.target}{stage}{buggy}{flags}"

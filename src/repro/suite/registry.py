@@ -9,6 +9,10 @@ The registry is the single source of truth for what can be analysed:
   disk, each carrying its own properties and observed signals.
 * :func:`default_jobs` — the merged job list a suite run executes: every
   builtin target at every stage, plus every discovered ``.rml`` file.
+
+Engine knobs travel as one :class:`~repro.engine.EngineConfig` value; the
+pre-config flat keywords (``trans=``, ``policy=``, ``gc_threshold=``,
+``auto_reorder=``) remain as deprecated shims.
 """
 
 from __future__ import annotations
@@ -17,7 +21,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..bdd import ResourcePolicy
+from ..engine import EngineConfig, _UNSET, _coalesce_flat, _warn_deprecated
+from ..errors import ConfigError
 
 from ..circuits import (
     build_circular_queue,
@@ -36,7 +41,6 @@ from ..circuits import (
     priority_buffer_lo_augmented_properties,
     priority_buffer_lo_properties,
 )
-from ..fsm.partition import TRANS_MODES, TRANS_PARTITIONED
 from .jobs import KIND_BUILTIN, KIND_RML, CoverageJob
 
 __all__ = [
@@ -54,10 +58,9 @@ BuildResult = Tuple[object, list, object, Optional[str]]
 
 
 def _counter(
-    stage: Optional[str], buggy: bool, trans: str,
-    policy: Optional[ResourcePolicy] = None,
+    stage: Optional[str], buggy: bool, config: EngineConfig, policy=None
 ) -> BuildResult:
-    fsm = build_counter(trans=trans, policy=policy)
+    fsm = build_counter(config=config, policy=policy)
     if stage == "partial":
         props = counter_partial_properties()
     else:
@@ -66,18 +69,16 @@ def _counter(
 
 
 def _buffer_hi(
-    stage: Optional[str], buggy: bool, trans: str,
-    policy: Optional[ResourcePolicy] = None,
+    stage: Optional[str], buggy: bool, config: EngineConfig, policy=None
 ) -> BuildResult:
-    fsm = build_priority_buffer(buggy=buggy, trans=trans, policy=policy)
+    fsm = build_priority_buffer(buggy=buggy, config=config, policy=policy)
     return fsm, priority_buffer_hi_properties(), "hi", None
 
 
 def _buffer_lo(
-    stage: Optional[str], buggy: bool, trans: str,
-    policy: Optional[ResourcePolicy] = None,
+    stage: Optional[str], buggy: bool, config: EngineConfig, policy=None
 ) -> BuildResult:
-    fsm = build_priority_buffer(buggy=buggy, trans=trans, policy=policy)
+    fsm = build_priority_buffer(buggy=buggy, config=config, policy=policy)
     if stage == "augmented":
         props = priority_buffer_lo_augmented_properties()
     else:
@@ -86,10 +87,9 @@ def _buffer_lo(
 
 
 def _queue_wrap(
-    stage: Optional[str], buggy: bool, trans: str,
-    policy: Optional[ResourcePolicy] = None,
+    stage: Optional[str], buggy: bool, config: EngineConfig, policy=None
 ) -> BuildResult:
-    fsm = build_circular_queue(trans=trans, policy=policy)
+    fsm = build_circular_queue(config=config, policy=policy)
     stage = stage or "initial"
     if stage == "final":
         props = circular_queue_wrap_properties(stage="extended")
@@ -100,11 +100,10 @@ def _queue_wrap(
 
 
 def _queue_full(
-    stage: Optional[str], buggy: bool, trans: str,
-    policy: Optional[ResourcePolicy] = None,
+    stage: Optional[str], buggy: bool, config: EngineConfig, policy=None
 ) -> BuildResult:
     return (
-        build_circular_queue(trans=trans, policy=policy),
+        build_circular_queue(config=config, policy=policy),
         circular_queue_full_properties(),
         "full",
         None,
@@ -112,11 +111,10 @@ def _queue_full(
 
 
 def _queue_empty(
-    stage: Optional[str], buggy: bool, trans: str,
-    policy: Optional[ResourcePolicy] = None,
+    stage: Optional[str], buggy: bool, config: EngineConfig, policy=None
 ) -> BuildResult:
     return (
-        build_circular_queue(trans=trans, policy=policy),
+        build_circular_queue(config=config, policy=policy),
         circular_queue_empty_properties(),
         "empty",
         None,
@@ -124,10 +122,9 @@ def _queue_empty(
 
 
 def _pipeline(
-    stage: Optional[str], buggy: bool, trans: str,
-    policy: Optional[ResourcePolicy] = None,
+    stage: Optional[str], buggy: bool, config: EngineConfig, policy=None
 ) -> BuildResult:
-    fsm = build_pipeline(trans=trans, policy=policy)
+    fsm = build_pipeline(config=config, policy=policy)
     if stage == "augmented":
         props = pipeline_augmented_properties()
     else:
@@ -174,17 +171,44 @@ def build_builtin(
     name: str,
     stage: Optional[str] = None,
     buggy: bool = False,
-    trans: str = TRANS_PARTITIONED,
-    policy: Optional[ResourcePolicy] = None,
+    trans=_UNSET,
+    policy=_UNSET,
+    config: Optional[EngineConfig] = None,
 ) -> BuildResult:
     """Construct ``(fsm, properties, observed, dont_care)`` for a target.
 
-    ``trans`` selects the transition-relation mode of the built FSM
-    (``"partitioned"`` or ``"mono"``); ``policy`` the BDD manager's
-    resource policy (auto-GC thresholds, auto-sift — engine defaults when
-    ``None``).  Raises :class:`ValueError` for an unknown target, a stage
-    outside the target's stage list, or an unknown transition mode.
+    ``config`` (an :class:`~repro.engine.EngineConfig`) carries every
+    engine knob of the built FSM: the transition-relation mode and the
+    resource thresholds compiled into the BDD manager's policy.  Raises
+    :class:`ValueError` for an unknown target or a stage outside the
+    target's stage list, and :class:`~repro.errors.ConfigError` (a
+    ``ValueError`` subclass) for an invalid config.
+
+    ``trans=`` / ``policy=`` are the pre-config keywords; both are
+    deprecated shims that warn and fold into the new path.
     """
+    # Explicit None is the old default for both keywords — it carries no
+    # information, so it must not trip the deprecation shim.
+    legacy = {}
+    if trans is not _UNSET and trans is not None:
+        legacy["trans"] = trans
+    if policy is not _UNSET and policy is not None:
+        legacy["policy"] = policy
+    policy_override = legacy.get("policy")
+    if legacy:
+        if config is not None:
+            raise ConfigError(
+                "build_builtin: pass either config= or the deprecated "
+                f"{'/'.join(sorted(legacy))}=, not both"
+            )
+        _warn_deprecated(
+            f"build_builtin({', '.join(f'{k}=...' for k in sorted(legacy))}) "
+            "is deprecated; pass config=EngineConfig(...) instead",
+            stacklevel=3,
+        )
+        if "trans" in legacy:
+            config = EngineConfig(trans=legacy["trans"])
+    config = config if config is not None else EngineConfig()
     target = BUILTIN_TARGETS.get(name)
     if target is None:
         raise ValueError(f"unknown target {name!r}")
@@ -194,12 +218,8 @@ def build_builtin(
             f"invalid stage {stage!r} for target {name!r} "
             f"(valid stages: {valid})"
         )
-    if trans not in TRANS_MODES:
-        raise ValueError(
-            f"unknown transition mode {trans!r} "
-            f"(valid modes: {', '.join(TRANS_MODES)})"
-        )
-    return target.builder(stage, buggy, trans, policy)
+    config.validate()
+    return target.builder(stage, buggy, config, policy_override)
 
 
 # ----------------------------------------------------------------------
@@ -208,12 +228,16 @@ def build_builtin(
 
 
 def builtin_jobs(
-    trans: str = TRANS_PARTITIONED,
-    gc_threshold: Optional[int] = None,
-    auto_reorder: bool = False,
+    trans=_UNSET,
+    gc_threshold=_UNSET,
+    auto_reorder=_UNSET,
+    config: Optional[EngineConfig] = None,
 ) -> List[CoverageJob]:
     """One job per (builtin target, stage) pair — stage-less targets get a
     single job at their default suite."""
+    config = _coalesce_flat(
+        "builtin_jobs", config, trans, gc_threshold, auto_reorder
+    )
     jobs: List[CoverageJob] = []
     for target in BUILTIN_TARGETS.values():
         stages: Tuple[Optional[str], ...] = target.stages or (None,)
@@ -225,9 +249,7 @@ def builtin_jobs(
                     kind=KIND_BUILTIN,
                     target=target.name,
                     stage=stage,
-                    trans=trans,
-                    gc_threshold=gc_threshold,
-                    auto_reorder=auto_reorder,
+                    config=config,
                 )
             )
     return jobs
@@ -240,40 +262,43 @@ def discover_rml(directory: "str | Path") -> List[Path]:
 
 def rml_job(
     path: "str | Path",
-    trans: str = TRANS_PARTITIONED,
-    gc_threshold: Optional[int] = None,
-    auto_reorder: bool = False,
+    trans=_UNSET,
+    gc_threshold=_UNSET,
+    auto_reorder=_UNSET,
+    config: Optional[EngineConfig] = None,
 ) -> CoverageJob:
     """A job running one ``.rml`` file (source is read eagerly so the job
     stays self-contained when shipped to a worker process)."""
+    config = _coalesce_flat(
+        "rml_job", config, trans, gc_threshold, auto_reorder
+    )
     path = Path(path)
     return CoverageJob(
         name=f"rml:{path.stem}",
         kind=KIND_RML,
         path=str(path),
         source=path.read_text(),
-        trans=trans,
-        gc_threshold=gc_threshold,
-        auto_reorder=auto_reorder,
+        config=config,
     )
 
 
 def default_jobs(
     rml_dir: "str | Path | None" = None,
     include_builtins: bool = True,
-    trans: str = TRANS_PARTITIONED,
-    gc_threshold: Optional[int] = None,
-    auto_reorder: bool = False,
+    trans=_UNSET,
+    gc_threshold=_UNSET,
+    auto_reorder=_UNSET,
+    config: Optional[EngineConfig] = None,
 ) -> List[CoverageJob]:
     """The merged registry: builtin jobs plus discovered ``.rml`` jobs."""
+    config = _coalesce_flat(
+        "default_jobs", config, trans, gc_threshold, auto_reorder
+    )
     jobs: List[CoverageJob] = (
-        builtin_jobs(trans, gc_threshold, auto_reorder)
-        if include_builtins
-        else []
+        builtin_jobs(config=config) if include_builtins else []
     )
     if rml_dir is not None:
         jobs.extend(
-            rml_job(path, trans, gc_threshold, auto_reorder)
-            for path in discover_rml(rml_dir)
+            rml_job(path, config=config) for path in discover_rml(rml_dir)
         )
     return jobs

@@ -1,14 +1,17 @@
 """The suite runner: execute coverage jobs, serially or across processes.
 
-Each job builds its own FSM inside its own BDD manager, so jobs share no
-state and parallelise perfectly across a ``ProcessPoolExecutor`` (one BDD
-manager per process; results come back as plain :class:`JobResult`
+Each job rebuilds its model through the :class:`~repro.analysis.Analysis`
+facade inside its own BDD manager, so jobs share no state and parallelise
+perfectly across a ``ProcessPoolExecutor`` (one BDD manager per process;
+results come back as plain :class:`~repro.analysis.AnalysisResult`
 primitives, never BDD handles).  ``max_workers=1`` runs in-process, which
 the tests use to assert that parallel percentages match serial execution
 bit-for-bit.
 
 :func:`suite_report` turns a result list into the machine-readable JSON
-document (schema ``repro-coverage-suite/v1``, documented in the README).
+document (schema ``repro-coverage-suite/v2``, documented in the README);
+:func:`read_report` is its validating consumer — it rejects v1 documents
+with an explicit version-mismatch error instead of misreading them.
 """
 
 from __future__ import annotations
@@ -20,132 +23,49 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from .._version import __version__
-from ..bdd import ResourcePolicy
-from ..coverage import CoverageEstimator
-from ..errors import ReproError
-from ..lang import elaborate, parse_module
-from ..mc import ModelChecker, WorkMeter
-from .jobs import KIND_BUILTIN, KIND_RML, CoverageJob, JobResult
-from .registry import build_builtin
+from ..analysis import Analysis, AnalysisResult
+from ..errors import ReportError, ReproError
+from .jobs import CoverageJob
 
 __all__ = [
     "execute_job",
     "run_jobs",
     "suite_report",
     "write_report",
+    "read_report",
     "format_results",
     "JSON_SCHEMA_ID",
+    "JSON_SCHEMA_ID_V1",
 ]
 
-JSON_SCHEMA_ID = "repro-coverage-suite/v1"
+#: The schema this runner writes (and :func:`read_report` accepts).
+JSON_SCHEMA_ID = "repro-coverage-suite/v2"
+#: The pre-``EngineConfig`` schema, recognised only to produce a clear
+#: version-mismatch error.
+JSON_SCHEMA_ID_V1 = "repro-coverage-suite/v1"
 
 
-def _job_policy(job: CoverageJob) -> Optional[ResourcePolicy]:
-    """The resource policy a job's fields describe (``None``: engine default)."""
-    if job.gc_threshold is None and not job.auto_reorder:
-        return None
-    kwargs = {"auto_reorder": job.auto_reorder}
-    if job.gc_threshold is not None:
-        kwargs["gc_node_threshold"] = job.gc_threshold
-    return ResourcePolicy(**kwargs)
-
-
-def _materialize(job: CoverageJob):
-    """Build ``(fsm, properties, observed, dont_care)`` for a job."""
-    policy = _job_policy(job)
-    if job.kind == KIND_BUILTIN:
-        if job.target is None:
-            raise ValueError(f"builtin job {job.name!r} has no target")
-        return build_builtin(
-            job.target, stage=job.stage, buggy=job.buggy, trans=job.trans,
-            policy=policy,
-        )
-    if job.kind == KIND_RML:
-        if job.source is None:
-            raise ValueError(f"rml job {job.name!r} has no source")
-        model = elaborate(
-            parse_module(job.source, filename=job.path), trans=job.trans,
-            policy=policy,
-        )
-        if not model.observed:
-            raise ValueError(
-                f"{job.path or job.name}: module {model.module.name!r} "
-                f"declares no OBSERVED signals"
-            )
-        if not model.specs:
-            raise ValueError(
-                f"{job.path or job.name}: module {model.module.name!r} "
-                f"declares no SPEC properties"
-            )
-        return model.fsm, model.specs, model.observed, model.dont_care
-    raise ValueError(f"unknown job kind {job.kind!r}")
-
-
-def execute_job(job: CoverageJob) -> JobResult:
+def execute_job(job: CoverageJob) -> AnalysisResult:
     """Run one job start-to-finish: build, verify, estimate.
 
     Never raises: failures are captured in the result's ``status`` so one
-    bad job cannot take down a whole suite (or its worker pool).
+    bad job cannot take down a whole suite (or its worker pool).  The
+    reported ``seconds`` include the model build, matching what a user
+    pays end to end.
     """
     started = time.perf_counter()
     try:
-        fsm, props, observed, dont_care = _materialize(job)
-        observed_list = [observed] if isinstance(observed, str) else list(observed)
-        checker = ModelChecker(fsm)
-        report = None
-        with WorkMeter(fsm.manager) as meter:
-            failing = [p for p in props if not checker.holds(p)]
-            if not failing:
-                estimator = CoverageEstimator(fsm, checker=checker)
-                report = estimator.estimate(
-                    props, observed=observed_list, dont_care=dont_care
-                )
-        if failing:
-            return JobResult(
-                name=job.name,
-                kind=job.kind,
-                status="fail",
-                model=fsm.name,
-                stage=job.stage,
-                trans=job.trans,
-                path=job.path,
-                observed=observed_list,
-                properties=len(props),
-                failing_properties=[str(p) for p in failing],
-                seconds=time.perf_counter() - started,
-                nodes_created=meter.stats.nodes_created,
-                gc_runs=meter.stats.gc_runs,
-                gc_seconds=meter.stats.gc_seconds,
-                peak_live_nodes=meter.stats.peak_live_nodes,
-            )
-        return JobResult(
-            name=job.name,
-            kind=job.kind,
-            status="ok",
-            model=fsm.name,
-            stage=job.stage,
-            trans=job.trans,
-            path=job.path,
-            observed=observed_list,
-            properties=len(report.per_property),
-            percentage=report.percentage,
-            covered_states=report.covered_count,
-            space_states=report.space_count,
-            uncovered_states=report.space_count - report.covered_count,
-            seconds=time.perf_counter() - started,
-            nodes_created=meter.stats.nodes_created,
-            gc_runs=meter.stats.gc_runs,
-            gc_seconds=meter.stats.gc_seconds,
-            peak_live_nodes=meter.stats.peak_live_nodes,
-        )
+        result = Analysis.from_job(job).result()
+        result.seconds = time.perf_counter() - started
+        return result
     except (ReproError, ValueError, OSError) as exc:
-        return JobResult(
+        return AnalysisResult(
             name=job.name,
             kind=job.kind,
             status="error",
             stage=job.stage,
-            trans=job.trans,
             path=job.path,
+            config=job.config,
             error=str(exc),
             seconds=time.perf_counter() - started,
         )
@@ -153,7 +73,7 @@ def execute_job(job: CoverageJob) -> JobResult:
 
 def run_jobs(
     jobs: Sequence[CoverageJob], max_workers: int = 1
-) -> List[JobResult]:
+) -> List[AnalysisResult]:
     """Execute ``jobs``, fanning out over ``max_workers`` processes.
 
     Results come back in job order regardless of completion order.  With
@@ -173,9 +93,15 @@ def run_jobs(
 
 
 def suite_report(
-    results: Sequence[JobResult], seconds: Optional[float] = None
+    results: Sequence[AnalysisResult], seconds: Optional[float] = None
 ) -> Dict:
-    """The machine-readable suite report (schema ``repro-coverage-suite/v1``)."""
+    """The machine-readable suite report (schema ``repro-coverage-suite/v2``).
+
+    v2 embeds each job's :class:`~repro.engine.EngineConfig` as a
+    ``config`` object (round-trippable via ``EngineConfig.from_json``), so
+    a recorded report documents the exact configuration of every number in
+    it.
+    """
     ok = [r for r in results if r.status == "ok"]
     failed = [r for r in results if r.status == "fail"]
     errors = [r for r in results if r.status == "error"]
@@ -210,7 +136,7 @@ def suite_report(
 
 
 def write_report(
-    results: Sequence[JobResult],
+    results: Sequence[AnalysisResult],
     path: "str | Path",
     seconds: Optional[float] = None,
 ) -> None:
@@ -220,8 +146,46 @@ def write_report(
     )
 
 
+def read_report(path: "str | Path") -> Dict:
+    """Load and validate a suite JSON report written by :func:`write_report`.
+
+    Returns the report dict.  Raises :class:`~repro.errors.ReportError`
+    when the document is not a v2 report — in particular, a v1 document
+    (which carried flat ``trans`` fields instead of per-job ``config``
+    objects) produces an explicit version-mismatch message rather than a
+    silent misread.  Per-job configs can be revived with
+    ``EngineConfig.from_json(job["config"])``.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ReportError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ReportError(
+            f"{path}: expected a JSON object, got {type(data).__name__}"
+        )
+    schema = data.get("schema")
+    if schema == JSON_SCHEMA_ID_V1:
+        raise ReportError(
+            f"{path}: schema version mismatch: this is a "
+            f"{JSON_SCHEMA_ID_V1!r} report, but this reader requires "
+            f"{JSON_SCHEMA_ID!r} (v2 embeds each job's engine config); "
+            f"regenerate the report with 'repro-coverage suite --json'"
+        )
+    if schema != JSON_SCHEMA_ID:
+        raise ReportError(
+            f"{path}: unrecognised schema {schema!r} "
+            f"(expected {JSON_SCHEMA_ID!r})"
+        )
+    if not isinstance(data.get("jobs"), list):
+        raise ReportError(f"{path}: report has no 'jobs' list")
+    if not isinstance(data.get("totals"), dict):
+        raise ReportError(f"{path}: report has no 'totals' object")
+    return data
+
+
 def format_results(
-    results: Sequence[JobResult], seconds: Optional[float] = None
+    results: Sequence[AnalysisResult], seconds: Optional[float] = None
 ) -> str:
     """Human-readable text block: one line per job plus a totals line."""
     lines = [result.format_line() for result in results]

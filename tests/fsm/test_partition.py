@@ -237,12 +237,12 @@ def test_validate_trans_mode():
 
 
 def test_builder_rejects_unknown_trans_mode():
-    from repro.fsm import CircuitBuilder
+    from repro.engine import EngineConfig
+    from repro.errors import ConfigError
 
-    b = CircuitBuilder("t")
-    b.latch("x", init=False, next_="!x")
-    with pytest.raises(ModelError):
-        b.build(trans="nope")
+    # The mode is validated where it now lives: on the config itself.
+    with pytest.raises(ConfigError):
+        EngineConfig(trans="nope")
 
 
 def test_partition_labels_are_latch_names():

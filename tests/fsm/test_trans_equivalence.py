@@ -14,10 +14,15 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis import Analysis
 from repro.coverage import CoverageEstimator, format_uncovered_traces
+from repro.engine import EngineConfig
 from repro.lang import elaborate, load_module
 from repro.mc import ModelChecker
 from repro.suite import BUILTIN_TARGETS, build_builtin
+
+MONO = EngineConfig(trans="mono")
+PARTITIONED = EngineConfig(trans="partitioned")
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
@@ -57,8 +62,8 @@ def _estimate(fsm, props, observed, dont_care):
 
 @pytest.mark.parametrize("name,stage", _all_builtin_cases())
 def test_builtin_targets_mode_equivalent(name, stage):
-    mono = build_builtin(name, stage=stage, trans="mono")
-    part = build_builtin(name, stage=stage, trans="partitioned")
+    mono = build_builtin(name, stage=stage, config=MONO)
+    part = build_builtin(name, stage=stage, config=PARTITIONED)
     fsm_m, props_m, obs_m, dc_m = mono
     fsm_p, props_p, obs_p, dc_p = part
     assert fsm_m.trans_mode == "mono"
@@ -81,8 +86,8 @@ def test_builtin_targets_mode_equivalent(name, stage):
 )
 def test_rml_examples_mode_equivalent(path):
     module = load_module(path)
-    mono = elaborate(module, trans="mono")
-    part = elaborate(module, trans="partitioned")
+    mono = elaborate(module, config=MONO)
+    part = elaborate(module, config=PARTITIONED)
     assert mono.fsm.trans_mode == "mono"
     assert part.fsm.trans_mode == "partitioned"
     assert mono.fsm.count_states(mono.fsm.reachable()) == part.fsm.count_states(
@@ -100,7 +105,8 @@ def test_counterexample_traces_mode_equivalent():
     results = {}
     for trans in ("mono", "partitioned"):
         fsm, props, _obs, _dc = build_builtin(
-            "buffer-lo", stage="augmented", buggy=True, trans=trans
+            "buffer-lo", stage="augmented", buggy=True,
+            config=EngineConfig(trans=trans),
         )
         checker = ModelChecker(fsm)
         traces = []
@@ -119,10 +125,66 @@ def test_counterexample_traces_mode_equivalent():
 def test_lazy_mono_transition_matches_eager():
     """Accessing ``transition`` on a partitioned FSM conjoins the same
     relation the mono build produced eagerly."""
-    fsm_m, _, _, _ = build_builtin("queue-wrap", trans="mono")
-    fsm_p, _, _, _ = build_builtin("queue-wrap", trans="partitioned")
+    fsm_m, _, _, _ = build_builtin("queue-wrap", config=MONO)
+    fsm_p, _, _, _ = build_builtin("queue-wrap", config=PARTITIONED)
     # Different managers — compare via satcount over all variables.
     all_vars = list(range(fsm_m.manager.num_vars))
     assert fsm_m.transition.satcount(all_vars) == fsm_p.transition.satcount(
         list(range(fsm_p.manager.num_vars))
     )
+
+
+# ----------------------------------------------------------------------
+# Facade equivalence — the API redesign's own safety net: driving the
+# pipeline through Analysis must reproduce the hand-wired
+# ModelChecker + CoverageEstimator flow byte for byte, in both modes.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("trans", ["mono", "partitioned"])
+@pytest.mark.parametrize("name,stage", _all_builtin_cases())
+def test_facade_matches_hand_wired_pipeline(name, stage, trans):
+    config = EngineConfig(trans=trans)
+    manual = _estimate(*build_builtin(name, stage=stage, config=config))
+    analysis = Analysis.builtin(name, stage=stage, config=config)
+    if not analysis.holds():
+        facade = ("fail", tuple(str(r.formula) for r in analysis.failing()))
+    else:
+        report = analysis.coverage()
+        fsm = analysis.fsm
+        facade = (
+            "ok",
+            report.percentage,
+            report.covered_count,
+            report.space_count,
+            tuple(fsm.count_states(pc.covered) for pc in report.per_property),
+            report.format_uncovered(limit=8),
+            analysis.uncovered_traces(3),
+        )
+    assert facade == manual
+
+
+@pytest.mark.parametrize("trans", ["mono", "partitioned"])
+@pytest.mark.parametrize(
+    "path", sorted(EXAMPLES.glob("*.rml")), ids=lambda p: p.stem
+)
+def test_facade_matches_hand_wired_rml(path, trans):
+    config = EngineConfig(trans=trans)
+    model = elaborate(load_module(path), config=config)
+    manual = _estimate(model.fsm, model.specs, model.observed, model.dont_care)
+    analysis = Analysis.from_rml(path, config=config)
+    assert analysis.holds()
+    report = analysis.coverage()
+    facade = (
+        "ok",
+        report.percentage,
+        report.covered_count,
+        report.space_count,
+        tuple(
+            analysis.fsm.count_states(pc.covered)
+            for pc in report.per_property
+        ),
+        report.format_uncovered(limit=8),
+        analysis.uncovered_traces(3),
+    )
+    assert facade == manual

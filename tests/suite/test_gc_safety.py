@@ -31,6 +31,7 @@ import pytest
 
 from repro.bdd import BDDManager, Function, ResourcePolicy
 from repro.coverage import CoverageEstimator, format_uncovered_traces
+from repro.engine import EngineConfig
 from repro.coverage.report import CoverageReport, PropertyCoverage
 from repro.lang import elaborate, load_module
 from repro.mc import ModelChecker, WorkStats
@@ -38,8 +39,9 @@ from repro.suite import BUILTIN_TARGETS, build_builtin
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
-#: Forced GC at every wrapper-creation safe point (small models only).
-AGGRESSIVE = ResourcePolicy.aggressive()
+#: Forced GC at every wrapper-creation safe point (small models only) —
+#: the config form of :meth:`ResourcePolicy.aggressive`.
+AGGRESSIVE = EngineConfig(gc_threshold=1, gc_growth=1.0)
 
 
 def _all_builtin_cases():
@@ -143,9 +145,13 @@ def test_rml_reports_identical_under_forced_gc(path):
 def test_mono_vs_partitioned_identical_under_forced_gc(name, stage):
     """The mono/partitioned equivalence guarantee survives the densest GC
     schedule (the tentpole's acceptance criterion)."""
-    mono = _forced_gc_report(*build_builtin(name, stage=stage, trans="mono"))
+    mono = _forced_gc_report(
+        *build_builtin(name, stage=stage, config=EngineConfig(trans="mono"))
+    )
     part = _forced_gc_report(
-        *build_builtin(name, stage=stage, trans="partitioned")
+        *build_builtin(
+            name, stage=stage, config=EngineConfig(trans="partitioned")
+        )
     )
     assert mono == part
 
@@ -157,7 +163,7 @@ class TestWrapperGranularity:
     def test_builtin_identical_under_aggressive_policy(self, name, stage):
         default = _default_report(*build_builtin(name, stage=stage))
         fsm, props, obs, dc = build_builtin(
-            name, stage=stage, policy=AGGRESSIVE
+            name, stage=stage, config=AGGRESSIVE
         )
         assert _default_report(fsm, props, obs, dc) == default
         assert fsm.manager.gc_runs > 100  # it really collected
@@ -168,7 +174,7 @@ class TestWrapperGranularity:
     def test_rml_identical_under_aggressive_policy(self, path):
         module = load_module(path)
         default = elaborate(module)
-        forced = elaborate(module, policy=AGGRESSIVE)
+        forced = elaborate(module, config=AGGRESSIVE)
         assert _default_report(
             forced.fsm, forced.specs, forced.observed, forced.dont_care
         ) == _default_report(

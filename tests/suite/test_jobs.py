@@ -1,0 +1,95 @@
+"""CoverageJob: config field, describe() regeneration, round-trips.
+
+``describe()`` used to hand-accumulate ``--gc-threshold``/``--auto-reorder``
+into a variable misleadingly named ``trans``; it is now regenerated from
+``EngineConfig.to_cli_args()``, and the round-trip tests here pin the
+contract: parsing a description's flags back through the CLI parser yields
+the job's exact config.
+"""
+
+import argparse
+import pickle
+
+import pytest
+
+from repro.engine import EngineConfig
+from repro.errors import ConfigError
+from repro.suite import CoverageJob
+
+
+def _reparse_flags(tokens):
+    """Parse engine flags the way the CLI does and revive the config."""
+    parser = argparse.ArgumentParser()
+    EngineConfig.add_cli_arguments(parser)
+    return EngineConfig.from_args(parser.parse_args(tokens))
+
+
+CONFIGS = [
+    EngineConfig(),
+    EngineConfig(trans="mono"),
+    EngineConfig(gc_threshold=0),
+    EngineConfig(gc_threshold=12345, auto_reorder=True),
+    EngineConfig(trans="mono", gc_growth=1.5, cache_threshold=77),
+]
+
+
+class TestDescribe:
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_builtin_describe_round_trips(self, config):
+        job = CoverageJob(name="counter@full", kind="builtin",
+                          target="counter", stage="full", config=config)
+        description = job.describe()
+        assert description.startswith("counter --stage full")
+        flags = description.split("counter --stage full")[1].split()
+        assert _reparse_flags(flags) == config
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_rml_describe_round_trips(self, config):
+        job = CoverageJob(name="rml:m", kind="rml", path="m.rml",
+                          source="MODULE m\n", config=config)
+        description = job.describe()
+        assert description.startswith("m.rml")
+        flags = description[len("m.rml"):].split()
+        assert _reparse_flags(flags) == config
+
+    def test_buggy_and_stage_flags_present(self):
+        job = CoverageJob(name="b", kind="builtin", target="buffer-lo",
+                          stage="augmented", buggy=True,
+                          config=EngineConfig(trans="mono"))
+        assert job.describe() == (
+            "buffer-lo --stage augmented --buggy --trans mono"
+        )
+
+    def test_default_config_renders_no_flags(self):
+        job = CoverageJob(name="c", kind="builtin", target="counter")
+        assert job.describe() == "counter"
+
+
+class TestConstruction:
+    def test_default_config(self):
+        job = CoverageJob(name="c", kind="builtin", target="counter")
+        assert job.config == EngineConfig()
+
+    def test_frozen(self):
+        job = CoverageJob(name="c", kind="builtin", target="counter")
+        with pytest.raises(Exception):
+            job.name = "other"
+
+    def test_equality_includes_config(self):
+        a = CoverageJob(name="c", kind="builtin", target="counter",
+                        config=EngineConfig(trans="mono"))
+        b = CoverageJob(name="c", kind="builtin", target="counter")
+        assert a != b
+        assert a == CoverageJob(name="c", kind="builtin", target="counter",
+                                config=EngineConfig(trans="mono"))
+
+    def test_pickle_round_trip(self):
+        job = CoverageJob(name="c", kind="builtin", target="counter",
+                          config=EngineConfig(gc_threshold=3))
+        assert pickle.loads(pickle.dumps(job)) == job
+
+    def test_config_and_legacy_kwargs_conflict(self):
+        # Conflicts are a hard error (raised before the shim warns).
+        with pytest.raises(ConfigError, match="not both"):
+            CoverageJob(name="c", kind="builtin", target="counter",
+                        config=EngineConfig(), trans="mono")

@@ -5,12 +5,16 @@ from pathlib import Path
 
 import pytest
 
+from repro.engine import EngineConfig
+from repro.errors import ReportError
 from repro.suite import (
     CoverageJob,
     JSON_SCHEMA_ID,
+    JSON_SCHEMA_ID_V1,
     builtin_jobs,
     execute_job,
     format_results,
+    read_report,
     rml_job,
     run_jobs,
     suite_report,
@@ -141,11 +145,27 @@ class TestReporting:
         assert totals["full_coverage"] == 2
         assert totals["seconds"] == 1.25
         first = report["jobs"][0]
-        for key in ("name", "kind", "status", "model", "stage", "observed",
-                    "properties", "percentage", "covered_states",
-                    "space_states", "uncovered_states", "failing_properties",
-                    "error", "seconds", "nodes_created"):
+        for key in ("name", "kind", "status", "model", "stage", "path",
+                    "config", "observed", "properties", "percentage",
+                    "covered_states", "space_states", "uncovered_states",
+                    "failing_properties", "error", "seconds",
+                    "nodes_created"):
             assert key in first
+
+    def test_every_job_embeds_a_round_trippable_config(self):
+        config = EngineConfig(trans="mono", gc_threshold=9999)
+        jobs = [
+            CoverageJob(name="counter@full", kind="builtin",
+                        target="counter", stage="full", config=config),
+            CoverageJob(name="broken", kind="rml", path="broken.rml",
+                        source="MODULE broken\nVAR\n  x : oops;\n",
+                        config=config),
+        ]
+        report = suite_report(run_jobs(jobs, max_workers=1))
+        # Every job — including errored ones — records its config, and the
+        # embedded object revives to the exact config the job carried.
+        for job_json in report["jobs"]:
+            assert EngineConfig.from_json(job_json["config"]) == config
 
     def test_report_is_json_serialisable(self, tmp_path):
         results = run_jobs(_jobs()[:2], max_workers=1)
@@ -154,6 +174,47 @@ class TestReporting:
         loaded = json.loads(out.read_text())
         assert loaded["schema"] == JSON_SCHEMA_ID
         assert loaded["jobs"][0]["percentage"] == 100.0
+
+    def test_read_report_round_trips(self, tmp_path):
+        results = run_jobs(_jobs()[:2], max_workers=1)
+        out = tmp_path / "report.json"
+        write_report(results, out)
+        loaded = read_report(out)
+        assert loaded["schema"] == JSON_SCHEMA_ID
+        configs = [
+            EngineConfig.from_json(j["config"]) for j in loaded["jobs"]
+        ]
+        assert configs == [EngineConfig(), EngineConfig()]
+
+    def test_read_report_rejects_v1_with_version_mismatch(self, tmp_path):
+        out = tmp_path / "old.json"
+        out.write_text(json.dumps({
+            "schema": JSON_SCHEMA_ID_V1, "generator": "repro 0.9",
+            "jobs": [], "totals": {},
+        }))
+        with pytest.raises(ReportError, match="version mismatch"):
+            read_report(out)
+
+    def test_read_report_rejects_unknown_schema(self, tmp_path):
+        out = tmp_path / "odd.json"
+        out.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ReportError, match="unrecognised schema"):
+            read_report(out)
+
+    def test_read_report_rejects_non_json(self, tmp_path):
+        out = tmp_path / "junk.json"
+        out.write_text("not json at all")
+        with pytest.raises(ReportError, match="not valid JSON"):
+            read_report(out)
+
+    def test_read_report_rejects_structurally_empty_document(self, tmp_path):
+        out = tmp_path / "hollow.json"
+        out.write_text(json.dumps({"schema": JSON_SCHEMA_ID}))
+        with pytest.raises(ReportError, match="'jobs' list"):
+            read_report(out)
+        out.write_text(json.dumps({"schema": JSON_SCHEMA_ID, "jobs": []}))
+        with pytest.raises(ReportError, match="'totals' object"):
+            read_report(out)
 
     def test_format_results_lines(self):
         results = run_jobs(_jobs(), max_workers=1)

@@ -11,6 +11,15 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 
 class TestParser:
+    def test_version_flag(self, capsys):
+        # argparse's version action exits 0 after printing.
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        from repro._version import __version__
+        assert __version__ in out
+
     def test_list_flag(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
@@ -210,7 +219,7 @@ class TestSuiteSubcommand:
         capsys.readouterr()
         serial = json.loads(serial_json.read_text())
         parallel = json.loads(parallel_json.read_text())
-        assert serial["schema"] == parallel["schema"] == "repro-coverage-suite/v1"
+        assert serial["schema"] == parallel["schema"] == "repro-coverage-suite/v2"
         serial_pct = [(j["name"], j["percentage"]) for j in serial["jobs"]]
         parallel_pct = [(j["name"], j["percentage"]) for j in parallel["jobs"]]
         assert serial_pct == parallel_pct

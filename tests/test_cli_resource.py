@@ -11,6 +11,7 @@ from pathlib import Path
 import pytest
 
 from repro.cli import main
+from repro.engine import EngineConfig
 from repro.suite import CoverageJob, default_jobs, execute_job
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
@@ -38,9 +39,14 @@ class TestTargetMode:
         assert "100.00%" in capsys.readouterr().out
 
     def test_negative_threshold_rejected(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["counter", "--gc-threshold", "-5"])
-        capsys.readouterr()
+        # ConfigError maps to exit code 2 in main — no SystemExit from
+        # helpers any more.
+        assert main(["counter", "--gc-threshold", "-5"]) == 2
+        assert "--gc-threshold must be >= 0" in capsys.readouterr().err
+
+    def test_bad_gc_growth_rejected(self, capsys):
+        assert main(["counter", "--gc-growth", "0.5"]) == 2
+        assert "--gc-growth must be >= 1.0" in capsys.readouterr().err
 
     def test_auto_reorder_accepted(self, capsys):
         assert main(["counter", "--auto-reorder"]) == 0
@@ -60,10 +66,10 @@ class TestRunMode:
 
 class TestSuiteMode:
     def test_flags_reach_jobs(self):
-        jobs = default_jobs(gc_threshold=12345, auto_reorder=True)
+        config = EngineConfig(gc_threshold=12345, auto_reorder=True)
+        jobs = default_jobs(config=config)
         assert jobs
-        assert all(j.gc_threshold == 12345 for j in jobs)
-        assert all(j.auto_reorder for j in jobs)
+        assert all(j.config == config for j in jobs)
         assert "--gc-threshold 12345" in jobs[0].describe()
         assert "--auto-reorder" in jobs[0].describe()
 
@@ -121,7 +127,7 @@ class TestJobExecution:
             stage="full",
             # Tiny threshold: the counter's live set is a few hundred
             # nodes, so this forces collections to actually happen.
-            gc_threshold=50,
+            config=EngineConfig(gc_threshold=50),
         )
         result = execute_job(job)
         assert result.status == "ok"
@@ -135,7 +141,7 @@ class TestJobExecution:
 
         job = CoverageJob(
             name="x", kind="builtin", target="counter",
-            gc_threshold=7, auto_reorder=True,
+            config=EngineConfig(gc_threshold=7, auto_reorder=True),
         )
         clone = pickle.loads(pickle.dumps(job))
         assert clone == job

@@ -1,0 +1,215 @@
+"""Every deprecated shim: warns exactly once, still produces the old result.
+
+The test suite runs with ``repro``-prefixed DeprecationWarnings escalated
+to errors (see ``filterwarnings`` in pyproject.toml), so internal code can
+never silently depend on a deprecated path — the shims are exercised only
+here, under ``pytest.warns``.
+"""
+
+import warnings
+
+import pytest
+
+from repro.circuits import (
+    build_circular_queue,
+    build_counter,
+    build_pipeline,
+    build_priority_buffer,
+)
+from repro.engine import EngineConfig
+from repro.errors import ConfigError, ModelError
+from repro.fsm import CircuitBuilder
+from repro.lang import elaborate, parse_module
+from repro.suite import (
+    CoverageJob,
+    build_builtin,
+    builtin_jobs,
+    default_jobs,
+    rml_job,
+)
+
+RML = "MODULE m\nVAR\n  x : boolean;\nASSIGN\n  next(x) := !x;\n"
+
+
+def _exactly_one_repro_warning(record):
+    messages = [str(w.message) for w in record]
+    assert len(messages) == 1, messages
+    assert messages[0].startswith("repro: "), messages
+
+
+class TestBuilderShims:
+    @pytest.mark.parametrize("build", [
+        build_counter, build_circular_queue, build_priority_buffer,
+        build_pipeline,
+    ])
+    def test_circuit_builder_trans_kwarg_warns_once(self, build):
+        with pytest.warns(DeprecationWarning) as record:
+            fsm = build(trans="mono")
+        _exactly_one_repro_warning(record)
+        assert fsm.trans_mode == "mono"
+
+    def test_circuit_builders_match_config_path(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = build_counter(trans="mono")
+        fresh = build_counter(config=EngineConfig(trans="mono"))
+        assert legacy.count_states(legacy.reachable()) == fresh.count_states(
+            fresh.reachable()
+        )
+
+    def test_circuitbuilder_build_trans_warns_once(self):
+        b = CircuitBuilder("t")
+        b.latch("x", init=False, next_="!x")
+        with pytest.warns(DeprecationWarning) as record:
+            fsm = b.build(trans="mono")
+        _exactly_one_repro_warning(record)
+        assert fsm.trans_mode == "mono"
+
+    def test_circuitbuilder_build_bad_legacy_trans_keeps_model_error(self):
+        # The legacy keyword preserves its legacy error type.
+        b = CircuitBuilder("t")
+        b.latch("x", init=False, next_="!x")
+        with pytest.raises(ModelError):
+            b.build(trans="nope")
+
+    def test_elaborate_trans_warns_once(self):
+        module = parse_module(RML + "SPEC AG (x -> AX !x);\nOBSERVED x;\n")
+        with pytest.warns(DeprecationWarning) as record:
+            model = elaborate(module, trans="mono")
+        _exactly_one_repro_warning(record)
+        assert model.fsm.trans_mode == "mono"
+
+    def test_trans_and_config_conflict(self):
+        with pytest.raises(ConfigError, match="not both"):
+            build_counter(trans="mono", config=EngineConfig())
+
+
+class TestBuildBuiltinShims:
+    def test_trans_kwarg_warns_once(self):
+        with pytest.warns(DeprecationWarning) as record:
+            fsm, props, observed, dont_care = build_builtin(
+                "counter", trans="mono"
+            )
+        _exactly_one_repro_warning(record)
+        assert fsm.trans_mode == "mono"
+        assert observed == "count"
+
+    def test_policy_kwarg_warns_once_and_applies(self):
+        from repro.bdd import ResourcePolicy
+
+        with pytest.warns(DeprecationWarning) as record:
+            fsm, *_ = build_builtin(
+                "counter", policy=ResourcePolicy(gc_node_threshold=1,
+                                                 gc_growth=1.0)
+            )
+        _exactly_one_repro_warning(record)
+        assert fsm.manager.gc_runs > 0
+
+    def test_bad_legacy_trans_still_value_error(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="unknown transition mode"):
+                build_builtin("counter", trans="bogus")
+
+
+class TestJobShims:
+    def test_flat_constructor_kwargs_warn_once(self):
+        with pytest.warns(DeprecationWarning) as record:
+            job = CoverageJob(name="c", kind="builtin", target="counter",
+                              trans="mono", gc_threshold=7,
+                              auto_reorder=True)
+        _exactly_one_repro_warning(record)
+        assert job.config == EngineConfig(trans="mono", gc_threshold=7,
+                                          auto_reorder=True)
+
+    @pytest.mark.parametrize("attr", ["trans", "gc_threshold", "auto_reorder"])
+    def test_flat_attribute_reads_warn_once(self, attr):
+        job = CoverageJob(
+            name="c", kind="builtin", target="counter",
+            config=EngineConfig(trans="mono", gc_threshold=7,
+                                auto_reorder=True),
+        )
+        with pytest.warns(DeprecationWarning) as record:
+            value = getattr(job, attr)
+        _exactly_one_repro_warning(record)
+        assert value == getattr(job.config, attr)
+
+    @pytest.mark.parametrize("factory,args", [
+        (builtin_jobs, ()),
+        (default_jobs, ()),
+    ])
+    def test_job_factories_warn_once(self, factory, args):
+        with pytest.warns(DeprecationWarning) as record:
+            jobs = factory(*args, trans="mono", gc_threshold=11)
+        _exactly_one_repro_warning(record)
+        assert jobs
+        assert all(
+            j.config == EngineConfig(trans="mono", gc_threshold=11)
+            for j in jobs
+        )
+
+    def test_rml_job_factory_warns_once(self, tmp_path):
+        path = tmp_path / "m.rml"
+        path.write_text(RML)
+        with pytest.warns(DeprecationWarning) as record:
+            job = rml_job(path, trans="mono")
+        _exactly_one_repro_warning(record)
+        assert job.config == EngineConfig(trans="mono")
+
+    def test_legacy_job_still_executes(self):
+        from repro.suite import execute_job
+
+        with pytest.warns(DeprecationWarning):
+            job = CoverageJob(name="counter@full", kind="builtin",
+                              target="counter", stage="full",
+                              gc_threshold=50)
+        result = execute_job(job)
+        assert result.status == "ok"
+        assert result.percentage == 100.0
+        assert result.config == EngineConfig(gc_threshold=50)
+
+    def test_result_trans_property_warns_once(self):
+        from repro.analysis import AnalysisResult
+
+        result = AnalysisResult(name="n", kind="builtin", status="ok",
+                                config=EngineConfig(trans="mono"))
+        with pytest.warns(DeprecationWarning) as record:
+            assert result.trans == "mono"
+        _exactly_one_repro_warning(record)
+
+    def test_result_flat_trans_constructor_warns_once(self):
+        # The former JobResult dataclass had a flat trans field; the alias
+        # still accepts it, folding into config.
+        from repro.suite import JobResult
+
+        with pytest.warns(DeprecationWarning) as record:
+            result = JobResult(name="n", kind="builtin", status="ok",
+                               trans="mono")
+        _exactly_one_repro_warning(record)
+        assert result.config == EngineConfig(trans="mono")
+
+
+class TestNewPathsDoNotWarn:
+    """The config-based paths must be warning-free (the suite runs with
+    repro DeprecationWarnings as errors, so these double as the guarantee
+    that internal code uses only new paths)."""
+
+    def test_config_paths_are_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            build_counter(config=EngineConfig(trans="mono"))
+            build_builtin("counter", config=EngineConfig())
+            CoverageJob(name="c", kind="builtin", target="counter",
+                        config=EngineConfig())
+            builtin_jobs(config=EngineConfig())
+
+    def test_uninformative_legacy_values_are_silent(self):
+        # Explicitly spelling the old defaults (trans=None, policy=None,
+        # gc_threshold=None, auto_reorder=False) carries no information
+        # and must not trip the shims — callers forward maybe-None vars.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            build_builtin("counter", trans=None, policy=None)
+            job = CoverageJob(name="c", kind="builtin", target="counter",
+                              trans=None, gc_threshold=None,
+                              auto_reorder=False)
+            assert job.config == EngineConfig()
+            builtin_jobs(trans=None, gc_threshold=None, auto_reorder=False)
