@@ -73,6 +73,21 @@ from .errors import (
 )
 from .expr import Expr, evaluate, expr_to_str, parse_expr
 from .fsm import FSM, CircuitBuilder, ExplicitGraph, ExplicitModel, enumerate_model
+from .gen import (
+    Disagreement,
+    FuzzResult,
+    GeneratedModel,
+    GenParams,
+    check_module,
+    generate,
+    random_actl,
+    random_ctl,
+    random_expr,
+    random_graph,
+    random_module,
+    run_fuzz,
+    shrink_module,
+)
 from .lang import (
     ElaboratedModel,
     Module,
@@ -144,6 +159,11 @@ __all__ = [
     # lang
     "Module", "ElaboratedModel", "parse_module", "load_module",
     "elaborate", "module_to_str",
+    # gen (random scenarios + differential oracle)
+    "GenParams", "GeneratedModel", "generate", "random_module",
+    "random_expr", "random_actl", "random_ctl", "random_graph",
+    "check_module", "Disagreement", "shrink_module", "run_fuzz",
+    "FuzzResult",
     # suite
     "CoverageJob", "JobResult", "BuiltinTarget", "BUILTIN_TARGETS",
     "build_builtin", "builtin_jobs", "default_jobs", "discover_rml",

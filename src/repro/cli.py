@@ -18,14 +18,21 @@ Suites (every registered job — builtin targets at every stage plus
     repro-coverage suite --jobs 4
     repro-coverage suite examples --jobs 4 --json coverage.json
 
-All three subcommands are thin argument adapters over one shared code
+Differential fuzzing (random models cross-checked against every engine
+configuration and the explicit-state oracle; see ``docs/testing.md``)::
+
+    repro-coverage fuzz --budget 200 --seed 0
+    repro-coverage fuzz --budget 300 --seed 7 --jobs 4 --json fuzz.json
+
+The coverage subcommands are thin argument adapters over one shared code
 path: they construct an :class:`~repro.analysis.Analysis` (the library's
 front door) from an :class:`~repro.engine.EngineConfig` parsed by one
 shared parent parser, and render its results.  ``python -m repro`` is an
 alias for this entry point.
 
-Exit codes: 0 success, 1 verification/coverage failure, 2 usage error
-(unknown target, invalid stage, parse error, invalid engine config).
+Exit codes: 0 success, 1 verification/coverage failure (or a fuzz
+disagreement), 2 usage error (unknown target, invalid stage, parse
+error, invalid engine config, unknown fuzz axis).
 """
 
 from __future__ import annotations
@@ -129,6 +136,76 @@ def _build_run_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_fuzz_parser() -> argparse.ArgumentParser:
+    from .gen.oracle import DEFAULT_AXES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-coverage fuzz",
+        description=(
+            "differential fuzzing: run random generated models through "
+            "every engine configuration (mono/partitioned, default/"
+            "aggressive GC), the explicit-state oracle, and the language "
+            "round trip, asserting byte-identical results; disagreements "
+            "are shrunk to small .rml reproducers"
+        ),
+    )
+    parser.add_argument(
+        "--budget", type=int, default=100, metavar="N",
+        help="number of generated cases to check (default 100)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="base seed; case i is generated from key 'S:i' (default 0)",
+    )
+    parser.add_argument(
+        "--offset", type=int, default=0, metavar="I",
+        help=(
+            "first case index (default 0); '--budget 1 --offset I' "
+            "re-runs exactly case I of a previous campaign"
+        ),
+    )
+    parser.add_argument(
+        "--axes", default=",".join(DEFAULT_AXES), metavar="A,B,...",
+        help=(
+            "comma-separated oracle axes to check "
+            f"(default: {','.join(DEFAULT_AXES)})"
+        ),
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1: run serially in-process)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE",
+        help="write the repro-fuzz/v1 JSON report to FILE",
+    )
+    parser.add_argument(
+        "--corpus", metavar="DIR",
+        help=(
+            "directory for shrunken .rml reproducers (default: "
+            "tests/corpus when it exists, else ./fuzz-corpus; only "
+            "written on disagreement)"
+        ),
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="record disagreements without minimising them",
+    )
+    parser.add_argument(
+        "--max-latches", type=int, default=None, metavar="N",
+        help="maximum boolean latches per generated model",
+    )
+    parser.add_argument(
+        "--max-inputs", type=int, default=None, metavar="N",
+        help="maximum free inputs per generated model",
+    )
+    parser.add_argument(
+        "--max-word-width", type=int, default=None, metavar="BITS",
+        help="maximum word-register width per generated model",
+    )
+    return parser
+
+
 def _build_suite_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-coverage suite",
@@ -194,6 +271,7 @@ def _main_target(argv: List[str]) -> int:
         print("subcommands:")
         print("  run <file.rml>     estimate coverage for a model file")
         print("  suite [dir]        run every registered job (see --help)")
+        print("  fuzz               differential fuzzing (see fuzz --help)")
         return 0
     target = BUILTIN_TARGETS.get(args.target)
     if target is None:
@@ -270,6 +348,57 @@ def _main_suite(argv: List[str]) -> int:
     return 0 if all(r.status == "ok" for r in results) else 1
 
 
+def _main_fuzz(argv: List[str]) -> int:
+    from .gen import GenParams, run_fuzz, validate_axes, write_fuzz_report
+
+    args = _build_fuzz_parser().parse_args(argv)
+    if args.budget < 1:
+        print("error: --budget must be >= 1", file=sys.stderr)
+        return 2
+    axes = validate_axes(
+        tuple(a for a in args.axes.split(",") if a)
+    )
+    overrides = {
+        key: value
+        for key, value in (
+            ("max_bool_latches", args.max_latches),
+            ("max_inputs", args.max_inputs),
+            ("max_word_width", args.max_word_width),
+        )
+        if value is not None
+    }
+    if args.max_word_width is not None:
+        # Keep the width range well-formed without a --min-word-width
+        # flag: a 1-bit cap means 1-bit words, not a ConfigError about an
+        # internal field the user never set.
+        overrides["min_word_width"] = min(
+            GenParams().min_word_width, args.max_word_width
+        )
+    params = GenParams(**overrides)  # validates (ConfigError -> exit 2)
+    corpus = args.corpus
+    if corpus is None:
+        corpus = (
+            "tests/corpus"
+            if Path("tests/corpus").is_dir()
+            else "fuzz-corpus"
+        )
+    result = run_fuzz(
+        budget=args.budget,
+        seed=args.seed,
+        offset=args.offset,
+        axes=axes,
+        params=params,
+        jobs=max(1, args.jobs),
+        shrink=not args.no_shrink,
+        corpus_dir=corpus,
+    )
+    print(result.format_summary())
+    if args.json:
+        write_fuzz_report(result, args.json)
+        print(f"wrote JSON report to {args.json}")
+    return 0 if result.ok else 1
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -282,9 +411,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _main_run(argv[1:])
         if argv and argv[0] == "suite":
             return _main_suite(argv[1:])
+        if argv and argv[0] == "fuzz":
+            return _main_fuzz(argv[1:])
         return _main_target(argv)
     except ConfigError as exc:
-        # The one place invalid engine configuration becomes an exit code.
+        # The one place invalid configuration becomes an exit code.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

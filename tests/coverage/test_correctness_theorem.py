@@ -11,12 +11,9 @@ mutation oracle must produce identical covered sets.
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.coverage import CoverageEstimator, mutation_covered
-from repro.ctl.ast import AG, AU, AX, Atom, CtlAnd, CtlImplies
 from repro.expr import parse_expr
-from repro.fsm import ExplicitGraph
-from repro.mc import ExplicitModelChecker, ModelChecker
-
-LABELS = ["p", "q"]
+from repro.mc import ExplicitModelChecker
+from tests.strategies import LABELS, acceptable_formulas, graphs
 
 ATOMS = [
     parse_expr("p"),
@@ -27,44 +24,7 @@ ATOMS = [
     parse_expr("true"),
 ]
 
-
-@st.composite
-def graphs(draw, max_states=5):
-    n = draw(st.integers(2, max_states))
-    succs = [
-        draw(st.lists(st.integers(0, n - 1), min_size=1, max_size=3))
-        for _ in range(n)
-    ]
-    labels = [draw(st.sets(st.sampled_from(LABELS))) for _ in range(n)]
-    initial = draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=2))
-    g = ExplicitGraph("random", signals=LABELS)
-    for i in range(n):
-        g.state(f"s{i}", labels=labels[i], initial=(i in initial))
-    for i, outs in enumerate(succs):
-        for j in set(outs):
-            g.edge(f"s{i}", f"s{j}")
-    return g
-
-
-def acceptable_formulas(depth):
-    """Random members of the paper's acceptable ACTL subset."""
-    atom = st.sampled_from(ATOMS).map(Atom)
-    if depth == 0:
-        return atom
-    sub = acceptable_formulas(depth - 1)
-    return st.one_of(
-        atom,
-        st.tuples(st.sampled_from(ATOMS).map(Atom), sub).map(
-            lambda t: CtlImplies(*t)
-        ),
-        sub.map(AX),
-        sub.map(AG),
-        st.tuples(sub, sub).map(lambda t: AU(*t)),
-        st.tuples(sub, sub).map(lambda t: CtlAnd(t)),
-    )
-
-
-FORMULA = acceptable_formulas(3)
+FORMULA = acceptable_formulas(ATOMS, depth=3)
 
 
 def _names(model, indices):
@@ -91,8 +51,8 @@ def test_estimator_equals_mutation_oracle(graph, formula, observed):
 
 
 @settings(max_examples=80, deadline=None)
-@given(graphs(max_states=4), acceptable_formulas(2), st.sampled_from(LABELS),
-       st.sampled_from(LABELS))
+@given(graphs(max_states=4), acceptable_formulas(ATOMS, depth=2),
+       st.sampled_from(LABELS), st.sampled_from(LABELS))
 def test_estimator_equals_oracle_under_fairness(graph, formula, observed, fair):
     model = graph.to_model()
     fair_expr = parse_expr(fair)

@@ -9,12 +9,9 @@ reported sets.
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.coverage import CoverageEstimator
-from repro.ctl.ast import AG, AU, AX, Atom, CtlAnd, CtlImplies
 from repro.expr import parse_expr
-from repro.fsm import ExplicitGraph
-from repro.mc import ExplicitModelChecker, ModelChecker
-
-LABELS = ["p", "q"]
+from repro.mc import ExplicitModelChecker
+from tests.strategies import acceptable_formulas, graphs
 
 ATOMS = [
     parse_expr("p"),
@@ -25,39 +22,8 @@ ATOMS = [
 ]
 
 
-@st.composite
-def graphs(draw, max_states=5):
-    n = draw(st.integers(2, max_states))
-    succs = [
-        draw(st.lists(st.integers(0, n - 1), min_size=1, max_size=3))
-        for _ in range(n)
-    ]
-    labels = [draw(st.sets(st.sampled_from(LABELS))) for _ in range(n)]
-    initial = draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=2))
-    g = ExplicitGraph("random", signals=LABELS)
-    for i in range(n):
-        g.state(f"s{i}", labels=labels[i], initial=(i in initial))
-    for i, outs in enumerate(succs):
-        for j in set(outs):
-            g.edge(f"s{i}", f"s{j}")
-    return g
-
-
 def formulas(depth):
-    atom = st.sampled_from(ATOMS).map(Atom)
-    if depth == 0:
-        return atom
-    sub = formulas(depth - 1)
-    return st.one_of(
-        atom,
-        st.tuples(st.sampled_from(ATOMS).map(Atom), sub).map(
-            lambda t: CtlImplies(*t)
-        ),
-        sub.map(AX),
-        sub.map(AG),
-        st.tuples(sub, sub).map(lambda t: AU(*t)),
-        st.tuples(sub, sub).map(lambda t: CtlAnd(t)),
-    )
+    return acceptable_formulas(ATOMS, depth=depth)
 
 
 def holding_suite(graph, candidate_formulas, limit=3):

@@ -1,27 +1,15 @@
 """Property-based round-trip and normalisation invariants for CTL."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.ctl import (
-    AF,
-    AG,
-    AU,
-    AX,
-    Atom,
-    CtlAnd,
-    CtlImplies,
-    CtlNot,
-    CtlOr,
-    EF,
-    EG,
-    EU,
-    EX,
     collapse,
     ctl_to_str,
     normalize_for_coverage,
     parse_ctl,
 )
 from repro.expr import parse_expr
+from tests.strategies import acceptable_formulas, ctl_formulas
 
 ATOMS = [
     parse_expr("p"),
@@ -33,26 +21,7 @@ ATOMS = [
     parse_expr("true"),
 ]
 
-
-def ctl_formulas(depth):
-    atom = st.sampled_from(ATOMS).map(Atom)
-    if depth == 0:
-        return atom
-    sub = ctl_formulas(depth - 1)
-    return st.one_of(
-        atom,
-        sub.map(CtlNot),
-        sub.map(AX), sub.map(AG), sub.map(AF),
-        sub.map(EX), sub.map(EG), sub.map(EF),
-        st.tuples(sub, sub).map(lambda t: CtlAnd(t)),
-        st.tuples(sub, sub).map(lambda t: CtlOr(t)),
-        st.tuples(sub, sub).map(lambda t: CtlImplies(*t)),
-        st.tuples(sub, sub).map(lambda t: AU(*t)),
-        st.tuples(sub, sub).map(lambda t: EU(*t)),
-    )
-
-
-FORMULA = ctl_formulas(3)
+FORMULA = ctl_formulas(ATOMS, depth=3)
 
 
 @settings(max_examples=200, deadline=None)
@@ -71,29 +40,15 @@ def test_collapse_is_idempotent(formula):
     assert collapse(once) == once
 
 
-def acceptable_formulas(depth):
-    atom = st.sampled_from(ATOMS).map(Atom)
-    if depth == 0:
-        return atom
-    sub = acceptable_formulas(depth - 1)
-    return st.one_of(
-        atom,
-        st.tuples(atom, sub).map(lambda t: CtlImplies(*t)),
-        sub.map(AX), sub.map(AG), sub.map(AF),
-        st.tuples(sub, sub).map(lambda t: AU(*t)),
-        st.tuples(sub, sub).map(lambda t: CtlAnd(t)),
-    )
-
-
 @settings(max_examples=200, deadline=None)
-@given(acceptable_formulas(3))
+@given(acceptable_formulas(ATOMS, depth=3))
 def test_normalize_accepts_and_is_idempotent(formula):
     normalized = normalize_for_coverage(formula)
     assert normalize_for_coverage(normalized) == normalized
 
 
 @settings(max_examples=200, deadline=None)
-@given(acceptable_formulas(3))
+@given(acceptable_formulas(ATOMS, depth=3))
 def test_normalized_formulas_round_trip(formula):
     normalized = normalize_for_coverage(formula)
     reparsed = parse_ctl(ctl_to_str(normalized))

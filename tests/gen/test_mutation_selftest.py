@@ -1,0 +1,71 @@
+"""The harness self-test: an injected engine bug must be caught and shrunk.
+
+This is the acceptance gate of the fuzzing subsystem (ISSUE 5): flip the
+polarity of ``BDDManager.apply_xor`` — the kernel every word increment's
+ripple-carry lowering passes through — and demand that
+
+1. the differential oracle catches the mutation within a small budget
+   (the explicit-state axis shares no code with the BDD core);
+2. the greedy shrinker minimises a disagreeing scenario to a reproducer
+   of at most 6 latch bits;
+3. the written ``.rml`` reproducer parses, still witnesses the bug while
+   the mutation is active, and passes once the engine is restored.
+"""
+
+import pytest
+
+from repro.bdd.manager import BDDManager
+from repro.gen import check_module, generate, latch_bits, run_fuzz
+from repro.lang import parse_module
+
+ORIGINAL_XOR = BDDManager.apply_xor
+
+
+def _flipped_xor(self, f, g):
+    return self.apply_not(ORIGINAL_XOR(self, f, g))
+
+
+@pytest.fixture
+def mutated_engine(monkeypatch):
+    monkeypatch.setattr(BDDManager, "apply_xor", _flipped_xor)
+    yield
+    monkeypatch.undo()
+
+
+class TestInjectedMutationIsCaught:
+    def test_fuzz_catches_and_shrinks_the_mutation(
+        self, mutated_engine, monkeypatch, tmp_path
+    ):
+        corpus = tmp_path / "corpus"
+        # jobs=1 keeps every case in this (patched) process.
+        result = run_fuzz(budget=8, seed=0, jobs=1, corpus_dir=corpus)
+        assert not result.ok
+        assert result.findings, "the flipped apply_xor must be detected"
+
+        finding = result.findings[0]
+        assert finding.shrunk_latches <= 6
+        assert finding.reproducer_path is not None
+
+        # The reproducer is a self-contained .rml witness: the header
+        # carries the seed line, the body still triggers the bug ...
+        reproducer = (corpus / f"fuzz-0-{finding.index}.rml").read_text()
+        assert finding.seed_line() in reproducer
+        module = parse_module(reproducer, filename="reproducer")
+        assert latch_bits(module) <= 6
+        assert check_module(module) is not None
+
+        # ... and once the engine is fixed, every axis agrees again.
+        monkeypatch.undo()
+        assert check_module(module) is None
+
+    def test_reference_run_survives_the_mutation(self, mutated_engine):
+        # The oracle must report a *disagreement*, not crash: the mutated
+        # engine still completes analyses, it just computes wrong answers.
+        gm = generate("selftest:0")
+        disagreement = check_module(gm.module, text=gm.text)
+        assert disagreement is not None
+        assert disagreement.axis in ("explicit", "reference", "roundtrip")
+
+    def test_clean_engine_silences_the_selftest_seeds(self):
+        gm = generate("selftest:0")
+        assert check_module(gm.module, text=gm.text) is None

@@ -1,0 +1,105 @@
+"""Differential-oracle behaviour on healthy and broken inputs."""
+
+import pytest
+
+from repro.engine import EngineConfig
+from repro.errors import ConfigError
+from repro.gen import (
+    AXIS_CONFIGS,
+    AXIS_EXPLICIT,
+    AXIS_ROUNDTRIP,
+    DEFAULT_AXES,
+    Disagreement,
+    check_module,
+    comparable_result,
+    generate,
+    validate_axes,
+)
+from repro.lang import parse_module
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("index", range(10))
+    def test_generated_scenarios_agree_on_every_axis(self, index):
+        gm = generate(f"oracle:{index}")
+        assert check_module(gm.module, text=gm.text) is None
+
+    def test_paper_counter_module_agrees(self):
+        # The shipped example exercises the same oracle path as generated
+        # scenarios — builtin circuits cross-check too, not just fuzz fare.
+        from pathlib import Path
+
+        source = (
+            Path(__file__).resolve().parents[2]
+            / "examples" / "counter.rml"
+        ).read_text()
+        module = parse_module(source, filename="counter.rml")
+        assert check_module(module) is None
+
+
+class TestComparableProjection:
+    def test_cost_fields_are_stripped(self):
+        gm = generate("oracle:0")
+        data = comparable_result(gm.analysis(EngineConfig()))
+        for cost in ("seconds", "nodes_created", "gc_runs", "gc_seconds",
+                     "peak_live_nodes", "config"):
+            assert cost not in data
+
+    def test_verdicts_and_traces_are_included(self):
+        gm = generate("oracle:0")
+        data = comparable_result(gm.analysis(EngineConfig()))
+        assert data["verdicts"]
+        assert all(isinstance(v[1], bool) for v in data["verdicts"])
+        if data["status"] == "ok":
+            assert "uncovered_trace_text" in data
+
+    def test_projection_identical_across_engine_configs(self):
+        gm = generate("oracle:1")
+        reference = comparable_result(gm.analysis(EngineConfig()))
+        for config in AXIS_CONFIGS.values():
+            assert comparable_result(gm.analysis(config)) == reference
+
+
+class TestAxisValidation:
+    def test_default_axes_validate(self):
+        assert validate_axes(DEFAULT_AXES) == DEFAULT_AXES
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigError, match="unknown oracle axis"):
+            validate_axes(("mono", "bogus"))
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            validate_axes(())
+
+    def test_axes_subset_runs(self):
+        gm = generate("oracle:2")
+        assert check_module(gm.module, axes=(AXIS_ROUNDTRIP,)) is None
+        assert check_module(gm.module, axes=(AXIS_EXPLICIT,)) is None
+
+
+class TestDisagreementRendering:
+    def test_describe_names_axis_and_field(self):
+        d = Disagreement("mono", "percentage", "80.0", "100.0")
+        text = d.describe()
+        assert "mono" in text and "percentage" in text
+        assert "80.0" in text and "100.0" in text
+
+
+class TestBrokenEngineIsCaught:
+    def test_flipped_and_polarity_is_detected(self, monkeypatch):
+        # A deliberately wrong apply_and: the explicit axis must notice,
+        # because the pure-Python oracle shares no code with the BDD core.
+        from repro.bdd.manager import BDDManager
+
+        original = BDDManager.apply_and
+
+        def flipped(self, f, g):
+            return self.apply_not(original(self, f, g))
+
+        gm = generate("oracle:3")
+        monkeypatch.setattr(BDDManager, "apply_and", flipped)
+        disagreement = check_module(gm.module, text=gm.text)
+        assert disagreement is not None
+        monkeypatch.undo()
+        assert check_module(gm.module, text=gm.text) is None

@@ -8,70 +8,13 @@ semantics.
 
 from hypothesis import given, settings, strategies as st
 
-from repro.ctl.ast import (
-    AF,
-    AG,
-    AU,
-    AX,
-    Atom,
-    CtlAnd,
-    CtlNot,
-    CtlOr,
-    EF,
-    EG,
-    EU,
-    EX,
-)
-from repro.expr import Var, parse_expr
-from repro.fsm import ExplicitGraph
+from repro.expr import parse_expr
 from repro.mc import ExplicitModelChecker, ModelChecker
+from tests.strategies import ctl_formulas, graphs
 
-LABELS = ["p", "q"]
+ATOMS = [parse_expr("p"), parse_expr("q"), parse_expr("p & !q")]
 
-
-@st.composite
-def graphs(draw, max_states=5):
-    n = draw(st.integers(2, max_states))
-    # Each state: a non-empty successor list and a label subset.
-    succs = [
-        draw(st.lists(st.integers(0, n - 1), min_size=1, max_size=3))
-        for _ in range(n)
-    ]
-    labels = [draw(st.sets(st.sampled_from(LABELS))) for _ in range(n)]
-    initial = draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=2))
-    g = ExplicitGraph("random", signals=LABELS)
-    for i in range(n):
-        g.state(f"s{i}", labels=labels[i], initial=(i in initial))
-    for i, outs in enumerate(succs):
-        for j in set(outs):
-            g.edge(f"s{i}", f"s{j}")
-    return g
-
-
-def formulas(depth):
-    leaf = st.sampled_from(
-        [Atom(Var("p")), Atom(Var("q")), Atom(parse_expr("p & !q"))]
-    )
-    if depth == 0:
-        return leaf
-    sub = formulas(depth - 1)
-    return st.one_of(
-        leaf,
-        sub.map(CtlNot),
-        sub.map(AX),
-        sub.map(AG),
-        sub.map(AF),
-        sub.map(EX),
-        sub.map(EG),
-        sub.map(EF),
-        st.tuples(sub, sub).map(lambda t: CtlAnd(t)),
-        st.tuples(sub, sub).map(lambda t: CtlOr(t)),
-        st.tuples(sub, sub).map(lambda t: AU(*t)),
-        st.tuples(sub, sub).map(lambda t: EU(*t)),
-    )
-
-
-FORMULA = formulas(3)
+FORMULA = ctl_formulas(ATOMS, depth=3)
 
 
 @settings(max_examples=120, deadline=None)

@@ -1,0 +1,60 @@
+"""Shared hypothesis strategies, built on the :mod:`repro.gen` primitives.
+
+Before the fuzzing subsystem existed, four test modules each carried their
+own copy of a random-graph composite and a recursive CTL formula
+strategy.  They now all delegate to the deterministic seed-driven
+generators in :mod:`repro.gen` — the same primitives ``repro fuzz`` uses —
+so the fuzzer and the property-based tests explore the same scenario
+space and a fix to one generator fixes all consumers.
+
+Each strategy draws an integer seed and maps it through the pure
+generator; shrinking therefore happens in seed space (hypothesis walks
+toward small seeds), while *structural* minimisation of interesting cases
+is the job of ``repro.gen.shrink``.
+"""
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.expr.ast import Expr
+from repro.gen import random_actl, random_ctl, random_graph
+
+#: The label universe the graph-based tests historically used.
+LABELS = ["p", "q"]
+
+_SEEDS = st.integers(0, 2**32 - 1)
+
+
+def graphs(max_states: int = 5, labels=tuple(LABELS)):
+    """Random explicit Kripke structures (total, >= 1 initial state)."""
+    return _SEEDS.map(
+        lambda seed: random_graph(
+            random.Random(f"graph:{seed}"),
+            max_states=max_states,
+            labels=list(labels),
+        )
+    )
+
+
+def ctl_formulas(atoms, depth: int = 3):
+    """Random full-CTL formulas (both path quantifiers) over ``atoms``."""
+    pool = _as_exprs(atoms)
+    return _SEEDS.map(
+        lambda seed: random_ctl(random.Random(f"ctl:{seed}"), pool, depth)
+    )
+
+
+def acceptable_formulas(atoms, depth: int = 3):
+    """Random members of the paper's acceptable ACTL subset."""
+    pool = _as_exprs(atoms)
+    return _SEEDS.map(
+        lambda seed: random_actl(random.Random(f"actl:{seed}"), pool, depth)
+    )
+
+
+def _as_exprs(atoms):
+    pool = list(atoms)
+    if not all(isinstance(a, Expr) for a in pool):
+        raise TypeError("atom pools are plain expressions (repro.expr.Expr)")
+    return pool

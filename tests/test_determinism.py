@@ -1,0 +1,87 @@
+"""Output determinism under ``PYTHONHASHSEED`` variation.
+
+The differential oracle compares engine outputs byte for byte, and the
+fuzz harness promises that a seed line reproduces a finding exactly — both
+are sound only if nothing in the reporting or trace pipeline leaks Python
+hash ordering.  These tests run the same jobs in subprocesses with
+different hash seeds and diff the outputs (timing fields normalised).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+HASH_SEEDS = ("0", "424242")
+
+
+def _run(args, hash_seed, cwd=ROOT):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = str(ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, cwd=cwd,
+    )
+    return proc
+
+
+def _strip_timings(data):
+    if isinstance(data, dict):
+        return {
+            k: _strip_timings(v)
+            for k, v in data.items()
+            if k not in ("seconds", "gc_seconds")
+        }
+    if isinstance(data, list):
+        return [_strip_timings(v) for v in data]
+    return data
+
+
+class TestHashSeedInvariance:
+    def test_target_report_with_traces_is_stable(self):
+        outs = []
+        for hs in HASH_SEEDS:
+            proc = _run(["counter", "--stage", "partial", "--traces", "2"], hs)
+            assert proc.returncode == 0, proc.stderr
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]
+        assert "trace to uncovered state" in outs[0]
+
+    def test_rml_run_with_traces_is_stable(self):
+        outs = []
+        for hs in HASH_SEEDS:
+            proc = _run(
+                ["run", "examples/arbiter.rml", "--traces", "2"], hs
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]
+
+    def test_suite_json_is_stable(self, tmp_path):
+        reports = []
+        for hs in HASH_SEEDS:
+            out = tmp_path / f"suite-{hs}.json"
+            proc = _run(
+                ["suite", "tests/corpus", "--no-builtins",
+                 "--json", str(out)],
+                hs,
+            )
+            assert proc.returncode == 0, proc.stderr
+            reports.append(_strip_timings(json.loads(out.read_text())))
+        assert reports[0] == reports[1]
+
+    def test_fuzz_report_is_stable(self, tmp_path):
+        reports = []
+        for hs in HASH_SEEDS:
+            out = tmp_path / f"fuzz-{hs}.json"
+            proc = _run(
+                ["fuzz", "--budget", "3", "--seed", "5",
+                 "--json", str(out), "--corpus", str(tmp_path / "c")],
+                hs,
+            )
+            assert proc.returncode == 0, proc.stderr
+            reports.append(_strip_timings(json.loads(out.read_text())))
+        assert reports[0] == reports[1]

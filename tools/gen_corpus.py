@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Regenerate the seeded regression corpus under tests/corpus/.
+
+Walks generator case keys ``corpus:<index>`` from index 0 upwards and
+keeps the first ``--count`` modules whose full analysis is ``status ==
+"ok"`` (all properties hold, coverage estimable) under *both* transition
+modes — the corpus must stay green in the suite registry forever.  Each
+kept module is written as ``gen_<index>.rml`` with a header comment, and
+``MANIFEST.json`` records every seed so the corpus is reproducible from
+this tool alone::
+
+    PYTHONPATH=src python tools/gen_corpus.py            # refresh in place
+    PYTHONPATH=src python tools/gen_corpus.py --check    # verify, no write
+
+``--check`` exits non-zero if regenerating from the manifest would change
+any committed file (generator drift must be a conscious decision).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.engine import EngineConfig  # noqa: E402
+from repro.gen import generate  # noqa: E402
+
+#: Manifest schema identifier.
+MANIFEST_SCHEMA = "repro-corpus/v1"
+
+#: Base key prefix; case i uses seed key ``corpus:<i>``.
+SEED_PREFIX = "corpus"
+
+
+def header(index: int) -> str:
+    return (
+        "-- repro.gen regression corpus module (seeded, deterministic).\n"
+        f"-- Regenerate: PYTHONPATH=src python tools/gen_corpus.py\n"
+        f"-- seed key: {SEED_PREFIX}:{index}\n"
+    )
+
+
+def render(index: int) -> "str | None":
+    """The corpus file content for case ``index``, or ``None`` when the
+    case is not green under both transition modes."""
+    gm = generate(f"{SEED_PREFIX}:{index}")
+    for config in (EngineConfig(), EngineConfig(trans="mono")):
+        if gm.analysis(config).result().status != "ok":
+            return None
+    return header(index) + gm.text
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--count", type=int, default=10)
+    parser.add_argument("--check", action="store_true")
+    parser.add_argument(
+        "--dir", default=str(Path(__file__).resolve().parents[1] / "tests" / "corpus")
+    )
+    args = parser.parse_args(argv)
+    corpus = Path(args.dir)
+
+    kept = {}
+    index = 0
+    while len(kept) < args.count:
+        content = render(index)
+        if content is not None:
+            kept[index] = content
+        index += 1
+        if index > 50 * args.count:  # pragma: no cover - generator broken
+            print("error: generator keeps producing failing suites", file=sys.stderr)
+            return 1
+
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "seed_prefix": SEED_PREFIX,
+        "files": [
+            {"file": f"gen_{i}.rml", "seed_key": f"{SEED_PREFIX}:{i}"}
+            for i in sorted(kept)
+        ],
+    }
+    manifest_text = json.dumps(manifest, indent=2) + "\n"
+
+    if args.check:
+        stale = []
+        for i, content in kept.items():
+            path = corpus / f"gen_{i}.rml"
+            if not path.exists() or path.read_text() != content:
+                stale.append(path.name)
+        manifest_path = corpus / "MANIFEST.json"
+        if not manifest_path.exists() or manifest_path.read_text() != manifest_text:
+            stale.append(manifest_path.name)
+        if stale:
+            print(f"corpus stale: {', '.join(stale)} (re-run without --check)")
+            return 1
+        print(f"corpus up to date ({len(kept)} modules)")
+        return 0
+
+    corpus.mkdir(parents=True, exist_ok=True)
+    for i, content in kept.items():
+        (corpus / f"gen_{i}.rml").write_text(content)
+    (corpus / "MANIFEST.json").write_text(manifest_text)
+    print(f"wrote {len(kept)} corpus modules + MANIFEST.json to {corpus}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
