@@ -105,6 +105,21 @@ from .mc import (
     format_trace,
     input_sequence,
 )
+from .obs import (
+    BENCH_WORKLOADS,
+    NULL_TELEMETRY,
+    BenchResult,
+    BenchWorkload,
+    Span,
+    Telemetry,
+    chrome_trace_events,
+    compare_result,
+    format_profile,
+    run_bench,
+    run_workload,
+    write_baseline,
+    write_chrome_trace,
+)
 from .suite import (
     BUILTIN_TARGETS,
     BuiltinTarget,
@@ -138,6 +153,11 @@ __all__ = [
     # mc
     "ModelChecker", "CheckResult", "ExplicitModelChecker",
     "WorkMeter", "WorkStats", "format_trace", "input_sequence",
+    # obs (telemetry + bench)
+    "Telemetry", "Span", "NULL_TELEMETRY", "format_profile",
+    "chrome_trace_events", "write_chrome_trace",
+    "BENCH_WORKLOADS", "BenchWorkload", "BenchResult",
+    "run_bench", "run_workload", "write_baseline", "compare_result",
     # coverage
     "CoverageEstimator", "CoverageReport", "PropertyCoverage",
     "depend", "traverse", "firstreached",

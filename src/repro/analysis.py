@@ -52,6 +52,7 @@ from .engine import EngineConfig, _warn_deprecated
 from .errors import ModelError, VerificationError
 from .fsm.fsm import FSM
 from .mc import CheckResult, ModelChecker, WorkMeter, WorkStats
+from .obs.telemetry import Telemetry
 
 __all__ = ["Analysis", "AnalysisResult"]
 
@@ -97,8 +98,18 @@ class AnalysisResult:
     gc_runs: int = 0
     #: Wall-clock seconds spent inside those collections (GC overhead).
     gc_seconds: float = 0.0
+    #: Node slots those collections recycled.
+    gc_freed: int = 0
+    #: Automatic reordering passes completed during the analysis.
+    reorder_runs: int = 0
+    #: Combined operation-cache entry count when the analysis ended.
+    cache_entries: int = 0
     #: The manager's live-node high-water mark — the analysis' memory bound.
     peak_live_nodes: int = 0
+    #: Telemetry emission (``repro-metrics/v1``): cumulative engine
+    #: counters, plus phase spans/events at level ``"spans"``.  ``None``
+    #: when telemetry is off — the JSON block is strictly additive.
+    metrics: Optional[Dict] = None
     #: Deprecated constructor keyword (the former flat ``JobResult.trans``
     #: field); folds into ``config`` with a warning.  Not a field.
     trans: InitVar[Optional[str]] = None
@@ -117,8 +128,12 @@ class AnalysisResult:
         return self.status == "ok"
 
     def to_json(self) -> Dict:
-        """The per-job object of the suite JSON report (schema v2)."""
-        return {
+        """The per-job object of the suite JSON report (schema v2).
+
+        The ``metrics`` key is additive: present only when the analysis
+        ran with telemetry on, so v2 consumers are unaffected by default.
+        """
+        payload = {
             "name": self.name,
             "kind": self.kind,
             "status": self.status,
@@ -138,8 +153,14 @@ class AnalysisResult:
             "nodes_created": self.nodes_created,
             "gc_runs": self.gc_runs,
             "gc_seconds": round(self.gc_seconds, 6),
+            "gc_freed": self.gc_freed,
+            "reorder_runs": self.reorder_runs,
+            "cache_entries": self.cache_entries,
             "peak_live_nodes": self.peak_live_nodes,
         }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return payload
 
     def format_line(self) -> str:
         """One human-readable summary line."""
@@ -214,6 +235,7 @@ class Analysis:
         kind: str = KIND_CUSTOM,
         stage: Optional[str] = None,
         path: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.fsm = fsm
         self.properties: List[CtlFormula] = list(properties)
@@ -226,6 +248,17 @@ class Analysis:
         self.kind = kind
         self.stage = stage
         self.path = path
+        #: The run's telemetry recorder (``NULL_TELEMETRY`` when the
+        #: config's level is "off").  Constructors that record pre-build
+        #: phases (parse, elaborate) pass theirs in; otherwise one is
+        #: created from the config.  The FSM reports through it too.
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry.from_level(self.config.telemetry)
+        )
+        self.telemetry.attach(fsm.manager)
+        self.fsm.telemetry = self.telemetry
         self._checker: Optional[ModelChecker] = None
         self._estimator: Optional[CoverageEstimator] = None
         self._check_results: Optional[List[CheckResult]] = None
@@ -255,14 +288,20 @@ class Analysis:
         from .suite.registry import build_builtin
 
         config = config if config is not None else EngineConfig()
-        fsm, props, observed, dont_care = build_builtin(
-            target, stage=stage, buggy=buggy, config=config
-        )
+        telemetry = Telemetry.from_level(config.telemetry)
+        with telemetry.span("build", target=target):
+            fsm, props, observed, dont_care = build_builtin(
+                target, stage=stage, buggy=buggy, config=config
+            )
+            # Attach before the span closes so the build phase's counter
+            # delta captures the circuit construction (start = fresh
+            # manager = all-zero).
+            telemetry.attach(fsm.manager)
         suffix = f"@{stage}" if stage else ""
         return cls(
             fsm, props, observed, dont_care,
             config=config, name=f"{target}{suffix}", kind=KIND_BUILTIN,
-            stage=stage,
+            stage=stage, telemetry=telemetry,
         )
 
     @classmethod
@@ -289,13 +328,17 @@ class Analysis:
         from .lang import load_module, parse_module
 
         config = config if config is not None else EngineConfig()
-        if _looks_like_path(source):
-            path: Optional[str] = str(source)
-            module = load_module(source)
-        else:
-            path = None
-            module = parse_module(str(source), filename=filename)
-        return cls._from_module(module, config, path=path, filename=filename)
+        telemetry = Telemetry.from_level(config.telemetry)
+        with telemetry.span("parse"):
+            if _looks_like_path(source):
+                path: Optional[str] = str(source)
+                module = load_module(source)
+            else:
+                path = None
+                module = parse_module(str(source), filename=filename)
+        return cls._from_module(
+            module, config, path=path, filename=filename, telemetry=telemetry
+        )
 
     @classmethod
     def _from_module(
@@ -304,13 +347,20 @@ class Analysis:
         config: EngineConfig,
         path: Optional[str],
         filename: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> "Analysis":
         """Elaborate and validate a parsed module — the one rml
         construction path (``from_rml`` and suite workers both land
         here, so their error messages cannot drift apart)."""
         from .lang import elaborate
 
-        model = elaborate(module, config=config)
+        if telemetry is None:
+            telemetry = Telemetry.from_level(config.telemetry)
+        with telemetry.span("elaborate"):
+            model = elaborate(module, config=config)
+            # Attach before the span closes: the fresh manager's counters
+            # start at zero, so the delta is the whole elaboration cost.
+            telemetry.attach(model.fsm.manager)
         where = path or filename or model.module.name
         if not model.observed:
             raise ModelError(
@@ -326,6 +376,7 @@ class Analysis:
         return cls(
             model.fsm, model.specs, model.observed, model.dont_care,
             config=config, name=f"rml:{stem}", kind=KIND_RML, path=path,
+            telemetry=telemetry,
         )
 
     @classmethod
@@ -441,7 +492,9 @@ class Analysis:
     def uncovered_traces(self, count: int = 3) -> str:
         """Rendered traces from an initial state to up to ``count``
         uncovered states (see :func:`repro.coverage.trace_to_uncovered`)."""
-        return format_uncovered_traces(self.coverage(), count=count)
+        report = self.coverage()
+        with self.telemetry.span("traces", count=count):
+            return format_uncovered_traces(report, count=count)
 
     def result(self) -> AnalysisResult:
         """Run the whole pipeline and return its JSON-safe outcome.
@@ -468,7 +521,13 @@ class Analysis:
             nodes_created=stats.nodes_created,
             gc_runs=stats.gc_runs,
             gc_seconds=stats.gc_seconds,
+            gc_freed=stats.gc_freed,
+            reorder_runs=stats.reorder_runs,
+            cache_entries=stats.cache_entries,
             peak_live_nodes=stats.peak_live_nodes,
+            metrics=(
+                self.telemetry.metrics() if self.telemetry.enabled else None
+            ),
         )
         if failing:
             return AnalysisResult(

@@ -132,6 +132,36 @@ class BDDManager:
         self._reorder_runs = 0
         self._peak_nodes = 2
 
+        # Op-level telemetry counters (see :meth:`resource_stats`).  All of
+        # them measure *work*, never results: they are deterministic for a
+        # given operation sequence, monotone, and cheap (one or two integer
+        # increments on the paths they instrument).  Hits/misses count
+        # op-cache probes per operation kind; binary ops share one cache and
+        # are split by the op tag.
+        self._ite_hits = 0
+        self._ite_misses = 0
+        self._bin_hits = [0, 0, 0]  # indexed by _OP_AND/_OP_OR/_OP_XOR
+        self._bin_misses = [0, 0, 0]
+        self._not_hits = 0
+        self._not_misses = 0
+        self._quant_hits = 0
+        self._quant_misses = 0
+        self._restrict_hits = 0
+        self._restrict_misses = 0
+        self._relprod_hits = 0
+        self._relprod_misses = 0
+        self._compose_hits = 0
+        self._compose_misses = 0
+        # Unique-table (hash-consing) pressure: probes are _mk lookups that
+        # reached the table (the reduce rule short-circuits before probing);
+        # hits found an existing node, so probes - hits == nodes created.
+        self._unique_probes = 0
+        self._unique_hits = 0
+        # Relational-product chain shape (and_exists_chain schedules).
+        self._chain_runs = 0
+        self._chain_steps = 0
+        self._chain_max_len = 0
+
         if var_names is not None:
             for name in var_names:
                 self.add_var(name)
@@ -207,8 +237,10 @@ class BDDManager:
         if low == high:
             return low
         key = (level, low, high)
+        self._unique_probes += 1
         node = self._unique.get(key)
         if node is not None:
+            self._unique_hits += 1
             return node
         if self._free:
             node = self._free.pop()
@@ -270,6 +302,7 @@ class BDDManager:
         low_arr = self._low
         high_arr = self._high
         cache = self._ite_cache
+        hits = misses = 0
         tasks: List[Tuple[int, int, int, bool]] = [(f, g, h, False)]
         results: List[int] = []
         while tasks:
@@ -296,8 +329,10 @@ class BDDManager:
                 continue
             cached = cache.get((f, g, h))
             if cached is not None:
+                hits += 1
                 results.append(cached)
                 continue
+            misses += 1
             level = min(level_arr[f], level_arr[g], level_arr[h])
             if level_arr[f] == level:
                 f0, f1 = low_arr[f], high_arr[f]
@@ -314,6 +349,8 @@ class BDDManager:
             tasks.append((f, g, h, True))
             tasks.append((f1, g1, h1, False))
             tasks.append((f0, g0, h0, False))
+        self._ite_hits += hits
+        self._ite_misses += misses
         return results[0]
 
     def apply_not(self, f: int) -> int:
@@ -325,8 +362,10 @@ class BDDManager:
         cache = self._not_cache
         cached = cache.get(f)
         if cached is not None:
+            self._not_hits += 1
             return cached
         level_arr = self._level
+        hits = misses = 0
         tasks: List[Tuple[int, bool]] = [(f, False)]
         results: List[int] = []
         while tasks:
@@ -348,11 +387,15 @@ class BDDManager:
                 continue
             cached = cache.get(f)
             if cached is not None:
+                hits += 1
                 results.append(cached)
                 continue
+            misses += 1
             tasks.append((f, True))
             tasks.append((self._high[f], False))
             tasks.append((self._low[f], False))
+        self._not_hits += hits
+        self._not_misses += misses
         return results[0]
 
     def _apply_bin(self, op: int, f: int, g: int) -> int:
@@ -361,6 +404,7 @@ class BDDManager:
         low_arr = self._low
         high_arr = self._high
         cache = self._bin_cache
+        hits = misses = 0
         tasks: List[Tuple[int, int, bool]] = [(f, g, False)]
         results: List[int] = []
         while tasks:
@@ -415,8 +459,10 @@ class BDDManager:
                 f, g = g, f
             cached = cache.get((op, f, g))
             if cached is not None:
+                hits += 1
                 results.append(cached)
                 continue
+            misses += 1
             lf, lg = level_arr[f], level_arr[g]
             level = lf if lf < lg else lg
             if lf == level:
@@ -430,6 +476,8 @@ class BDDManager:
             tasks.append((f, g, True))
             tasks.append((f1, g1, False))
             tasks.append((f0, g0, False))
+        self._bin_hits[op] += hits
+        self._bin_misses[op] += misses
         return results[0]
 
     def apply_and(self, f: int, g: int) -> int:
@@ -490,6 +538,7 @@ class BDDManager:
         qmax = self._quant_profile_max[profile]
         cache = self._quant_cache
         tag = 0 if disjunctive else 1
+        hits = misses = 0
         tasks: List[Tuple[int, bool]] = [(f, False)]
         results: List[int] = []
         while tasks:
@@ -513,11 +562,15 @@ class BDDManager:
                 continue
             cached = cache.get((tag, f, profile))
             if cached is not None:
+                hits += 1
                 results.append(cached)
                 continue
+            misses += 1
             tasks.append((f, True))
             tasks.append((self._high[f], False))
             tasks.append((self._low[f], False))
+        self._quant_hits += hits
+        self._quant_misses += misses
         return results[0]
 
     def _exists_profile(self, f: int, profile: int) -> int:
@@ -556,6 +609,7 @@ class BDDManager:
         # carries (f, g, f1, g1) — the pending high cofactors, expanded only
         # when the low branch did not already decide the disjunction;
         # AFTER_HIGH carries (f, g, low); AFTER_BOTH carries (f, g).
+        hits = misses = 0
         tasks: List[Tuple[int, int, int, int, int]] = [
             (_AE_EXPAND, f, g, 0, 0)
         ]
@@ -582,8 +636,10 @@ class BDDManager:
                     f, g = g, f
                 cached = cache.get((f, g, profile))
                 if cached is not None:
+                    hits += 1
                     results.append(cached)
                     continue
+                misses += 1
                 lf, lg = level_arr[f], level_arr[g]
                 level = lf if lf < lg else lg
                 if lf == level:
@@ -623,6 +679,8 @@ class BDDManager:
                 result = self._mk(lf if lf < lg else lg, low, high)
                 cache[(f, g, profile)] = result
                 results.append(result)
+        self._relprod_hits += hits
+        self._relprod_misses += misses
         return results[0]
 
     def and_exists_chain(
@@ -648,10 +706,16 @@ class BDDManager:
         BDD of a model-checking run — is never built.
         """
         result = f
+        executed = 0
+        self._chain_runs += 1
+        if len(steps) > self._chain_max_len:
+            self._chain_max_len = len(steps)
         for conjunct, variables in steps:
+            executed += 1
             result = self.and_exists(result, conjunct, variables)
             if result == FALSE:
-                return FALSE
+                break
+        self._chain_steps += executed
         return result
 
     # ------------------------------------------------------------------
@@ -667,6 +731,7 @@ class BDDManager:
         level_arr = self._level
         cache = self._quant_cache
         tag = 2 if value else 3
+        hits = misses = 0
         tasks: List[Tuple[int, bool]] = [(f, False)]
         results: List[int] = []
         while tasks:
@@ -683,8 +748,10 @@ class BDDManager:
                 continue
             cached = cache.get((tag, f, level))
             if cached is not None:
+                hits += 1
                 results.append(cached)
                 continue
+            misses += 1
             if level_arr[f] == level:
                 # The restricted variable cannot reappear below its level,
                 # so the chosen child is already fully restricted.
@@ -695,6 +762,8 @@ class BDDManager:
             tasks.append((f, True))
             tasks.append((self._high[f], False))
             tasks.append((self._low[f], False))
+        self._restrict_hits += hits
+        self._restrict_misses += misses
         return results[0]
 
     def compose(self, f: int, var: int, g: int) -> int:
@@ -728,6 +797,7 @@ class BDDManager:
         max_level = self._compose_max_level
         token = self._compose_token
         cache = self._compose_cache
+        hits = misses = 0
         tasks: List[Tuple[int, bool]] = [(f, False)]
         results: List[int] = []
         while tasks:
@@ -748,11 +818,15 @@ class BDDManager:
                 continue
             cached = cache.get((token, f))
             if cached is not None:
+                hits += 1
                 results.append(cached)
                 continue
+            misses += 1
             tasks.append((f, True))
             tasks.append((self._high[f], False))
             tasks.append((self._low[f], False))
+        self._compose_hits += hits
+        self._compose_misses += misses
         return results[0]
 
     def rename(self, f: int, mapping: Dict[int, int]) -> int:
@@ -1026,9 +1100,7 @@ class BDDManager:
         """
         if self._in_checkpoint:
             return
-        count = len(self._level) - len(self._free)
-        if count > self._peak_nodes:
-            self._peak_nodes = count
+        count = self._note_peak()
         policy = self.policy
         self._in_checkpoint = True
         try:
@@ -1082,9 +1154,7 @@ class BDDManager:
         operation caches are invalidated.
         """
         started = time.perf_counter()
-        count = len(self._level) - len(self._free)
-        if count > self._peak_nodes:
-            self._peak_nodes = count
+        self._note_peak()
         roots = set(extra_roots)
         for ref in list(self._external.values()):
             obj = ref()
@@ -1170,26 +1240,88 @@ class BDDManager:
         """Total wall-clock time spent inside garbage collection."""
         return self._gc_seconds
 
-    @property
-    def peak_nodes(self) -> int:
-        """High-water mark of the live node count (updated at safe points,
-        at GC entry, and whenever it is read)."""
+    def _note_peak(self) -> int:
+        """Fold the current node count into the stored high-water mark.
+
+        Called at the manager's own observation points (safe points, GC
+        entry).  Returns the current count so callers need not recompute it.
+        """
         count = len(self._level) - len(self._free)
         if count > self._peak_nodes:
             self._peak_nodes = count
-        return self._peak_nodes
+        return count
+
+    @property
+    def peak_nodes(self) -> int:
+        """High-water mark of the live node count.
+
+        Reading is side-effect free: the returned value folds in the
+        current live count without storing it, so stats snapshots (which
+        may run at arbitrary moments) never mutate manager state.  The
+        stored mark is advanced only at the manager's own observation
+        points (:meth:`checkpoint`, :meth:`collect_garbage`).
+        """
+        count = len(self._level) - len(self._free)
+        peak = self._peak_nodes
+        return count if count > peak else peak
+
+    @property
+    def reorder_runs(self) -> int:
+        """Number of completed automatic reordering passes."""
+        return self._reorder_runs
+
+    @property
+    def gc_freed(self) -> int:
+        """Total node slots recycled across all collections."""
+        return self._gc_freed_total
 
     def resource_stats(self) -> Dict[str, float]:
-        """Resource-manager counters as a JSON-friendly dict."""
+        """Every resource and op-level counter as one JSON-friendly dict.
+
+        This is *the* counter schema: :class:`~repro.mc.stats.WorkMeter`
+        deltas it across phases, ``repro.obs`` spans snapshot it at span
+        boundaries, and ``repro bench`` baselines persist it — the names
+        below appear verbatim in suite JSON, trace exports, and
+        ``BENCH_*.json`` files (see ``docs/observability.md``).  Reading it
+        never mutates manager state.
+        """
         return {
-            "live_nodes": self.node_count(),
+            # Node-store gauges and totals.
+            "nodes_live": self.node_count(),
             "peak_live_nodes": self.peak_nodes,
-            "created_nodes": self._created_nodes,
+            "nodes_created": self._created_nodes,
+            # Resource-manager activity.
             "gc_runs": self._gc_runs,
             "gc_freed": self._gc_freed_total,
             "gc_seconds": self._gc_seconds,
             "reorder_runs": self._reorder_runs,
             "cache_entries": self.cache_entry_count(),
+            # Unique-table (hash-consing) pressure.
+            "unique_probes": self._unique_probes,
+            "unique_hits": self._unique_hits,
+            # Op-cache hits/misses per operation kind.
+            "ite_hits": self._ite_hits,
+            "ite_misses": self._ite_misses,
+            "and_hits": self._bin_hits[_OP_AND],
+            "and_misses": self._bin_misses[_OP_AND],
+            "or_hits": self._bin_hits[_OP_OR],
+            "or_misses": self._bin_misses[_OP_OR],
+            "xor_hits": self._bin_hits[_OP_XOR],
+            "xor_misses": self._bin_misses[_OP_XOR],
+            "not_hits": self._not_hits,
+            "not_misses": self._not_misses,
+            "quant_hits": self._quant_hits,
+            "quant_misses": self._quant_misses,
+            "restrict_hits": self._restrict_hits,
+            "restrict_misses": self._restrict_misses,
+            "relprod_hits": self._relprod_hits,
+            "relprod_misses": self._relprod_misses,
+            "compose_hits": self._compose_hits,
+            "compose_misses": self._compose_misses,
+            # Relational-product chain shape (and_exists_chain).
+            "chain_runs": self._chain_runs,
+            "chain_steps": self._chain_steps,
+            "chain_max_len": self._chain_max_len,
         }
 
     # ------------------------------------------------------------------

@@ -24,6 +24,17 @@ configuration and the explicit-state oracle; see ``docs/testing.md``)::
     repro-coverage fuzz --budget 200 --seed 0
     repro-coverage fuzz --budget 300 --seed 7 --jobs 4 --json fuzz.json
 
+Benchmarks (the committed perf trajectory; see ``docs/observability.md``)::
+
+    repro-coverage bench --list
+    repro-coverage bench --out benchmarks/baselines
+    repro-coverage bench --compare benchmarks/baselines
+
+Telemetry (purely observational — results never change)::
+
+    repro-coverage counter --profile
+    repro-coverage run examples/counter.rml --trace out.jsonl
+
 The coverage subcommands are thin argument adapters over one shared code
 path: they construct an :class:`~repro.analysis.Analysis` (the library's
 front door) from an :class:`~repro.engine.EngineConfig` parsed by one
@@ -102,6 +113,40 @@ def _add_traces_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """The telemetry emission flags shared by target and run mode.
+
+    Either flag implies telemetry level "spans" (the recording is free to
+    turn on — it never changes results), so users don't have to pair them
+    with ``--telemetry spans`` by hand.
+    """
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "print a per-phase cost table (the paper's 'nodes - time' "
+            "style) after the coverage report; implies --telemetry spans"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out", "--trace", dest="trace_out", metavar="FILE",
+        help=(
+            "write the run's phase spans and frontier samples to FILE as "
+            "Chrome trace events (open in https://ui.perfetto.dev); "
+            "implies --telemetry spans"
+        ),
+    )
+
+
+def _telemetry_config(config: EngineConfig, args) -> EngineConfig:
+    """Upgrade the config to level "spans" when an emission flag asks."""
+    wants_spans = getattr(args, "profile", False) or getattr(
+        args, "trace_out", None
+    )
+    if wants_spans and config.telemetry == "off":
+        return config.with_(telemetry="spans")
+    return config
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-coverage",
@@ -122,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the buggy priority-buffer variant (Circuit 1 narrative)",
     )
     _add_traces_flag(parser)
+    _add_telemetry_flags(parser)
     return parser
 
 
@@ -133,6 +179,7 @@ def _build_run_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("file", help="path to a .rml model file")
     _add_traces_flag(parser)
+    _add_telemetry_flags(parser)
     return parser
 
 
@@ -206,6 +253,46 @@ def _build_fuzz_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_bench_parser() -> argparse.ArgumentParser:
+    from .obs.bench import DEFAULT_TOLERANCE
+
+    parser = argparse.ArgumentParser(
+        prog="repro-coverage bench",
+        description=(
+            "run the registered benchmark workloads and record/compare "
+            "BENCH_<name>.json baselines; engine counters are the gated "
+            "regression signal, wall-clock is informational only"
+        ),
+    )
+    parser.add_argument(
+        "workloads", nargs="*", metavar="WORKLOAD",
+        help="workload names to run (default: all; see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered workloads"
+    )
+    parser.add_argument(
+        "--out", metavar="DIR",
+        help="write/refresh BENCH_<name>.json baselines under DIR",
+    )
+    parser.add_argument(
+        "--compare", metavar="DIR",
+        help=(
+            "compare fresh runs against the baselines under DIR; exit "
+            "non-zero when a gated counter regresses beyond tolerance or "
+            "the analysis outcome drifts"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE, metavar="T",
+        help=(
+            "relative headroom a gated counter may grow before failing "
+            f"(default {DEFAULT_TOLERANCE})"
+        ),
+    )
+    return parser
+
+
 def _build_suite_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-coverage suite",
@@ -238,7 +325,12 @@ def _build_suite_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 
 
-def _report_analysis(analysis: Analysis, traces: int) -> int:
+def _report_analysis(
+    analysis: Analysis,
+    traces: int,
+    profile: bool = False,
+    trace_out: Optional[str] = None,
+) -> int:
     """Verify, estimate, and print — the one rendering of the pipeline."""
     failing = analysis.failing()
     if failing:
@@ -249,11 +341,31 @@ def _report_analysis(analysis: Analysis, traces: int) -> int:
                 for k, state in enumerate(result.counterexample):
                     print(f"    cycle {k}: {analysis.fsm.format_state(state)}")
         print("coverage is only defined for verified properties; aborting.")
+        _emit_telemetry(analysis, profile, trace_out)
         return 1
     print(analysis.coverage().summary())
     if traces > 0:
         print(analysis.uncovered_traces(traces))
+    _emit_telemetry(analysis, profile, trace_out)
     return 0
+
+
+def _emit_telemetry(
+    analysis: Analysis, profile: bool, trace_out: Optional[str]
+) -> None:
+    """Render --profile / --trace output for whatever phases ran (the
+    telemetry is emitted even when verification failed — a failing run's
+    cost profile is exactly what one wants to look at)."""
+    if profile:
+        from .obs import format_profile
+
+        print()
+        print(format_profile(analysis.telemetry))
+    if trace_out:
+        from .obs import write_chrome_trace
+
+        count = write_chrome_trace(analysis.telemetry, trace_out)
+        print(f"wrote {count} trace event(s) to {trace_out}")
 
 
 # ----------------------------------------------------------------------
@@ -272,6 +384,7 @@ def _main_target(argv: List[str]) -> int:
         print("  run <file.rml>     estimate coverage for a model file")
         print("  suite [dir]        run every registered job (see --help)")
         print("  fuzz               differential fuzzing (see fuzz --help)")
+        print("  bench              perf baselines + regression gate (see bench --help)")
         return 0
     target = BUILTIN_TARGETS.get(args.target)
     if target is None:
@@ -289,12 +402,15 @@ def _main_target(argv: List[str]) -> int:
             file=sys.stderr,
         )
         return 2
-    config = EngineConfig.from_args(args)
+    config = _telemetry_config(EngineConfig.from_args(args), args)
     try:
         analysis = Analysis.builtin(
             args.target, stage=args.stage, buggy=args.buggy, config=config
         )
-        return _report_analysis(analysis, args.traces)
+        return _report_analysis(
+            analysis, args.traces,
+            profile=args.profile, trace_out=args.trace_out,
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -302,7 +418,7 @@ def _main_target(argv: List[str]) -> int:
 
 def _main_run(argv: List[str]) -> int:
     args = _build_run_parser().parse_args(argv)
-    config = EngineConfig.from_args(args)
+    config = _telemetry_config(EngineConfig.from_args(args), args)
     try:
         analysis = Analysis.from_rml(Path(args.file), config=config)
     except OSError as exc:
@@ -314,7 +430,10 @@ def _main_run(argv: List[str]) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        return _report_analysis(analysis, args.traces)
+        return _report_analysis(
+            analysis, args.traces,
+            profile=args.profile, trace_out=args.trace_out,
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -346,6 +465,82 @@ def _main_suite(argv: List[str]) -> int:
         write_report(results, args.json, seconds=elapsed)
         print(f"wrote JSON report to {args.json}")
     return 0 if all(r.status == "ok" for r in results) else 1
+
+
+def _main_bench(argv: List[str]) -> int:
+    from .obs.bench import (
+        BENCH_WORKLOADS,
+        baseline_path,
+        compare_result,
+        load_baseline,
+        run_workload,
+        write_baseline,
+    )
+
+    args = _build_bench_parser().parse_args(argv)
+    if args.list:
+        print("registered bench workloads:")
+        for workload in BENCH_WORKLOADS.values():
+            print(f"  {workload.name:22s} {workload.description}")
+        return 0
+    if args.tolerance < 0:
+        print("error: --tolerance must be >= 0", file=sys.stderr)
+        return 2
+    names = args.workloads or list(BENCH_WORKLOADS)
+    unknown = sorted(set(names) - set(BENCH_WORKLOADS))
+    if unknown:
+        print(
+            f"error: unknown bench workload(s): {', '.join(unknown)} "
+            f"(known: {', '.join(BENCH_WORKLOADS)})",
+            file=sys.stderr,
+        )
+        return 2
+    regressions: List[str] = []
+    for name in names:
+        result = run_workload(BENCH_WORKLOADS[name])
+        counters = result.counters
+        print(
+            f"{name:22s} nodes={counters['nodes_created']:>9,} "
+            f"peak={counters['peak_live_nodes']:>8,} "
+            f"op_misses={counters['op_misses']:>9,} "
+            f"gc={counters['gc_runs']:>3} "
+            f"wall={result.wall_seconds:.2f}s"
+        )
+        if args.out:
+            write_baseline(result, args.out)
+        if args.compare:
+            path = baseline_path(args.compare, name)
+            if not path.is_file():
+                missing = (
+                    f"{name}: no committed baseline at {path} "
+                    f"(run: repro bench {name} --out {args.compare})"
+                )
+                print(f"  REGRESSION: {missing}", file=sys.stderr)
+                regressions.append(missing)
+                continue
+            found, notes = compare_result(
+                result, load_baseline(path), tolerance=args.tolerance
+            )
+            for note in notes:
+                print(f"  note: {note}")
+            for regression in found:
+                print(f"  REGRESSION: {regression}", file=sys.stderr)
+            regressions.extend(found)
+    if args.out:
+        print(f"wrote {len(names)} baseline(s) under {args.out}")
+    if args.compare:
+        if regressions:
+            print(
+                f"bench compare: {len(regressions)} regression(s) against "
+                f"{args.compare}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"bench compare: OK ({len(names)} workload(s) within "
+            f"{args.tolerance:.0%} counter tolerance of {args.compare})"
+        )
+    return 0
 
 
 def _main_fuzz(argv: List[str]) -> int:
@@ -413,6 +608,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _main_suite(argv[1:])
         if argv and argv[0] == "fuzz":
             return _main_fuzz(argv[1:])
+        if argv and argv[0] == "bench":
+            return _main_bench(argv[1:])
         return _main_target(argv)
     except ConfigError as exc:
         # The one place invalid configuration becomes an exit code.

@@ -280,7 +280,8 @@ class CoverageEstimator:
         per_property: List[PropertyCoverage] = []
         total = self.fsm.empty_set()
         for formula in properties:
-            with WorkMeter(self.fsm.manager) as meter:
+            span = self.fsm.telemetry.span("coverage", property=str(formula))
+            with span, WorkMeter(self.fsm.manager) as meter:
                 covered = self.covered_set(formula, observed_list, verify=verify)
                 covered = covered & space
             per_property.append(

@@ -42,6 +42,7 @@ from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional
 
 from .errors import ConfigError
+from .obs.telemetry import TELEMETRY_LEVELS, TELEMETRY_OFF
 
 __all__ = [
     "EngineConfig",
@@ -85,6 +86,11 @@ class EngineConfig:
         ``None`` keeps the default.
     auto_reorder:
         Enable the automatic variable-sifting hook (off by default).
+    telemetry:
+        Telemetry level: ``"off"`` (default), ``"counters"`` (cumulative
+        engine counters in reports), or ``"spans"`` (full phase spans and
+        frontier events — what ``--profile`` and ``--trace`` need).
+        Purely observational: results are identical at every level.
     """
 
     trans: str = TRANS_PARTITIONED
@@ -92,6 +98,7 @@ class EngineConfig:
     gc_growth: Optional[float] = None
     cache_threshold: Optional[int] = None
     auto_reorder: bool = False
+    telemetry: str = "off"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -116,6 +123,11 @@ class EngineConfig:
             raise ConfigError("--cache-threshold must be >= 0")
         if not isinstance(self.auto_reorder, bool):
             raise ConfigError("auto_reorder must be a bool")
+        if self.telemetry not in TELEMETRY_LEVELS:
+            raise ConfigError(
+                f"unknown telemetry level {self.telemetry!r} "
+                f"(valid levels: {', '.join(TELEMETRY_LEVELS)})"
+            )
         return self
 
     def with_(self, **changes) -> "EngineConfig":
@@ -197,6 +209,16 @@ class EngineConfig:
                 "reordering may change the rendering order of --traces output"
             ),
         )
+        parser.add_argument(
+            "--telemetry", choices=list(TELEMETRY_LEVELS),
+            default=TELEMETRY_OFF, metavar="LEVEL",
+            help=(
+                "telemetry level: 'off' (default), 'counters' (cumulative "
+                "engine counters in JSON reports), or 'spans' (full phase "
+                "spans and frontier events); purely observational — "
+                "results are identical at every level"
+            ),
+        )
 
     @classmethod
     def from_args(cls, args) -> "EngineConfig":
@@ -207,6 +229,7 @@ class EngineConfig:
             gc_growth=getattr(args, "gc_growth", None),
             cache_threshold=getattr(args, "cache_threshold", None),
             auto_reorder=bool(getattr(args, "auto_reorder", False)),
+            telemetry=getattr(args, "telemetry", TELEMETRY_OFF),
         )
 
     def to_cli_args(self) -> List[str]:
@@ -227,6 +250,8 @@ class EngineConfig:
             args += ["--cache-threshold", str(self.cache_threshold)]
         if self.auto_reorder:
             args += ["--auto-reorder"]
+        if self.telemetry != TELEMETRY_OFF:
+            args += ["--telemetry", self.telemetry]
         return args
 
     # ------------------------------------------------------------------
@@ -242,6 +267,7 @@ class EngineConfig:
             "gc_growth": self.gc_growth,
             "cache_threshold": self.cache_threshold,
             "auto_reorder": self.auto_reorder,
+            "telemetry": self.telemetry,
         }
 
     @classmethod

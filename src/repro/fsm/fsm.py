@@ -40,6 +40,8 @@ from .partition import (
     validate_trans_mode,
 )
 
+from ..obs.telemetry import NULL_TELEMETRY
+
 __all__ = ["FSM", "NEXT_SUFFIX"]
 
 #: Suffix appended to a state variable name to name its next-state copy.
@@ -91,6 +93,12 @@ class FSM:
         Optional next-state expression for every non-input state variable
         (enables explicit enumeration; relation-built FSMs leave it None).
     """
+
+    #: The telemetry this machine reports phase spans to.  A class-level
+    #: default so every FSM (including hand-built test fixtures) has one;
+    #: :class:`~repro.analysis.Analysis` installs a live recorder when the
+    #: config asks for it.  Never affects results — spans only read state.
+    telemetry = NULL_TELEMETRY
 
     def __init__(
         self,
@@ -172,7 +180,8 @@ class FSM:
         ``trans_mode == "mono"``.
         """
         if self._transition is None:
-            self._transition = self.partition.monolithic()
+            with self.telemetry.span("build-trans", mode="mono"):
+                self._transition = self.partition.monolithic()
         return self._transition
 
     @property
@@ -314,18 +323,38 @@ class FSM:
         return list(self._rings)
 
     def _compute_rings(self) -> None:
-        rings = [self.init]
-        reached = self.init
-        frontier = self.init
-        while not frontier.is_false():
-            new = self.image(frontier).diff(reached)
-            if new.is_false():
-                break
-            rings.append(new)
-            reached = reached | new
-            frontier = new
-        self._reachable = reached
-        self._rings = rings
+        telemetry = self.telemetry
+        with telemetry.span("reachability", machine=self.name):
+            sample = telemetry.spans_enabled
+            rings = [self.init]
+            reached = self.init
+            frontier = self.init
+            if sample:
+                # Frontier samples use only read-only queries (satcount,
+                # node size): no BDD nodes, no cache traffic — the run
+                # stays byte-identical with telemetry off.
+                telemetry.event(
+                    "frontier",
+                    iteration=0,
+                    frontier_states=self.count_states(frontier),
+                    reached_nodes=reached.size(),
+                )
+            while not frontier.is_false():
+                new = self.image(frontier).diff(reached)
+                if new.is_false():
+                    break
+                rings.append(new)
+                reached = reached | new
+                frontier = new
+                if sample:
+                    telemetry.event(
+                        "frontier",
+                        iteration=len(rings) - 1,
+                        frontier_states=self.count_states(frontier),
+                        reached_nodes=reached.size(),
+                    )
+            self._reachable = reached
+            self._rings = rings
 
     # ------------------------------------------------------------------
     # Counting / enumeration

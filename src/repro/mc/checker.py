@@ -259,7 +259,8 @@ class ModelChecker:
 
     def check(self, formula: CtlFormula) -> CheckResult:
         """Check ``formula``, measuring cost and deriving a counterexample."""
-        with WorkMeter(self.fsm.manager) as meter:
+        span = self.fsm.telemetry.span("verify", property=str(formula))
+        with span, WorkMeter(self.fsm.manager) as meter:
             sat = self.sat(formula)
             holds = self.fsm.init.subseteq(sat)
             counterexample = None

@@ -9,15 +9,22 @@ measure), plus the manager's live node count at the end.
 Since the engine gained an automatic resource manager
 (:class:`~repro.bdd.policy.ResourcePolicy`), the meter also records its
 footprint: garbage collections that ran during the phase, the wall-clock
-time they cost, and the manager's peak live-node count — the number that
-actually bounds memory on large designs.
+time they cost, the nodes they recycled, reordering passes, and the
+manager's peak live-node count — the number that actually bounds memory on
+large designs.
+
+The meter deltas :meth:`~repro.bdd.manager.BDDManager.resource_stats`
+between its enter and exit snapshots, so its field names *are* the
+manager's counter schema (``nodes_created``, ``gc_runs``, ...) — the one
+naming every emission layer (suite JSON, ``repro.obs`` spans, ``repro
+bench`` baselines) shares.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from ..bdd import BDDManager
 
@@ -38,17 +45,30 @@ class WorkStats:
     gc_runs: int = 0
     #: Wall-clock seconds spent inside those collections (GC overhead).
     gc_seconds: float = 0.0
+    #: Node slots those collections recycled.
+    gc_freed: int = 0
+    #: Automatic reordering passes completed during the phase.
+    reorder_runs: int = 0
+    #: Combined operation-cache entry count when the phase ended (a gauge,
+    #: not a delta: caches persist across phases and evictions can shrink
+    #: them mid-phase).
+    cache_entries: int = 0
     #: The manager's live-node high-water mark when the phase ended — the
     #: memory bound of the run so far (monotone across phases on a manager).
     peak_live_nodes: int = 0
 
     def __add__(self, other: "WorkStats") -> "WorkStats":
+        """Accumulate two *sequential* phases (``other`` is the later one):
+        work counters sum, gauges take the later/larger snapshot."""
         return WorkStats(
             seconds=self.seconds + other.seconds,
             nodes_created=self.nodes_created + other.nodes_created,
             nodes_live=max(self.nodes_live, other.nodes_live),
             gc_runs=self.gc_runs + other.gc_runs,
             gc_seconds=self.gc_seconds + other.gc_seconds,
+            gc_freed=self.gc_freed + other.gc_freed,
+            reorder_runs=self.reorder_runs + other.reorder_runs,
+            cache_entries=max(self.cache_entries, other.cache_entries),
             peak_live_nodes=max(self.peak_live_nodes, other.peak_live_nodes),
         )
 
@@ -78,23 +98,24 @@ class WorkMeter:
         self.manager = manager
         self.stats: Optional[WorkStats] = None
         self._t0 = 0.0
-        self._nodes0 = 0
-        self._gc_runs0 = 0
-        self._gc_seconds0 = 0.0
+        self._snap0: Optional[Dict[str, float]] = None
 
     def __enter__(self) -> "WorkMeter":
         self._t0 = time.perf_counter()
-        self._nodes0 = self.manager.created_nodes
-        self._gc_runs0 = self.manager.gc_runs
-        self._gc_seconds0 = self.manager.gc_seconds
+        self._snap0 = self.manager.resource_stats()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        end = self.manager.resource_stats()
+        start = self._snap0
         self.stats = WorkStats(
             seconds=time.perf_counter() - self._t0,
-            nodes_created=self.manager.created_nodes - self._nodes0,
-            nodes_live=self.manager.node_count(),
-            gc_runs=self.manager.gc_runs - self._gc_runs0,
-            gc_seconds=self.manager.gc_seconds - self._gc_seconds0,
-            peak_live_nodes=self.manager.peak_nodes,
+            nodes_created=end["nodes_created"] - start["nodes_created"],
+            nodes_live=end["nodes_live"],
+            gc_runs=end["gc_runs"] - start["gc_runs"],
+            gc_seconds=end["gc_seconds"] - start["gc_seconds"],
+            gc_freed=end["gc_freed"] - start["gc_freed"],
+            reorder_runs=end["reorder_runs"] - start["reorder_runs"],
+            cache_entries=end["cache_entries"],
+            peak_live_nodes=end["peak_live_nodes"],
         )

@@ -1,0 +1,76 @@
+"""`repro.obs` — the engine's telemetry spine.
+
+The paper reports every experiment as a cost pair — "BDD nodes - time" per
+signal (Table 2) — so cost is a first-class output of this codebase, not a
+debugging afterthought.  This package is the one instrumentation layer all
+engine work reports through:
+
+:mod:`repro.obs.telemetry`
+    Hierarchical phase spans (parse → elaborate → build-trans →
+    reachability → verify → coverage → traces) that snapshot
+    :meth:`~repro.bdd.manager.BDDManager.resource_stats` deltas at their
+    boundaries, plus per-iteration frontier events inside the reachability
+    fixpoint.  :data:`NULL_TELEMETRY` is the always-off implementation the
+    engine defaults to.
+:mod:`repro.obs.trace`
+    Chrome-trace-event export of a recorded telemetry — open the file in
+    Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+:mod:`repro.obs.bench`
+    The ``repro bench`` workload registry and ``BENCH_<name>.json``
+    baseline codec: counters are the stable, machine-independent signal;
+    wall-clock rides along as information.
+
+Everything here is pure stdlib, and recording is observationally inert:
+spans and events only *read* engine state (resource counters, satcounts),
+so a run with telemetry on produces byte-identical verdicts, coverage
+numbers and traces to a run with telemetry off.
+"""
+
+from .bench import (
+    BENCH_SCHEMA,
+    BENCH_WORKLOADS,
+    BenchResult,
+    BenchWorkload,
+    baseline_path,
+    compare_result,
+    load_baseline,
+    run_bench,
+    run_workload,
+    write_baseline,
+)
+from .telemetry import (
+    METRICS_SCHEMA,
+    NULL_TELEMETRY,
+    TELEMETRY_COUNTERS,
+    TELEMETRY_LEVELS,
+    TELEMETRY_OFF,
+    TELEMETRY_SPANS,
+    Span,
+    Telemetry,
+    format_profile,
+)
+from .trace import chrome_trace_events, write_chrome_trace
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "NULL_TELEMETRY",
+    "TELEMETRY_COUNTERS",
+    "TELEMETRY_LEVELS",
+    "TELEMETRY_OFF",
+    "TELEMETRY_SPANS",
+    "Span",
+    "Telemetry",
+    "format_profile",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "BENCH_SCHEMA",
+    "BENCH_WORKLOADS",
+    "BenchResult",
+    "BenchWorkload",
+    "baseline_path",
+    "compare_result",
+    "load_baseline",
+    "run_bench",
+    "run_workload",
+    "write_baseline",
+]

@@ -1,0 +1,90 @@
+"""Chrome-trace-event export of a recorded :class:`~repro.obs.Telemetry`.
+
+The output follows the Trace Event Format's *JSON array* flavour: one
+event object per line inside a top-level ``[...]``, so the file is both
+valid JSON and greppable line-by-line.  Load it in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* phase spans become ``"ph": "X"`` complete events (``ts``/``dur`` in
+  microseconds) nested on one track, with the span's counter deltas in
+  ``args``;
+* frontier samples become ``"ph": "C"`` counter events, which the viewer
+  renders as per-iteration counter tracks.
+
+``pid``/``tid`` are fixed at 1: the engine is single-threaded and a
+stable id keeps the export deterministic across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .telemetry import Telemetry
+
+__all__ = ["chrome_trace_events", "write_chrome_trace"]
+
+_PID = 1
+_TID = 1
+
+
+def _us(seconds: float) -> float:
+    """Seconds → microseconds, rounded to keep the JSON compact."""
+    return round(seconds * 1e6, 3)
+
+
+def chrome_trace_events(telemetry: Telemetry) -> List[Dict[str, object]]:
+    """The recorded spans/events as Chrome trace event dicts."""
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID,
+            "args": {"name": "repro"},
+        }
+    ]
+    for span in telemetry.spans:
+        args: Dict[str, object] = dict(span.attrs)
+        args.update(
+            (key, round(value, 6) if isinstance(value, float) else value)
+            for key, value in span.counters.items()
+        )
+        events.append(
+            {
+                "name": span.name,
+                "cat": "phase",
+                "ph": "X",
+                "ts": _us(span.t_start),
+                "dur": _us(span.seconds),
+                "pid": _PID,
+                "tid": _TID,
+                "args": args,
+            }
+        )
+    for sample in telemetry.events:
+        events.append(
+            {
+                "name": sample["name"],
+                "cat": "sample",
+                "ph": "C",
+                "ts": _us(sample["t"]),
+                "pid": _PID,
+                "tid": _TID,
+                "args": dict(sample["args"]),
+            }
+        )
+    return events
+
+
+def write_chrome_trace(telemetry: Telemetry, path: Union[str, Path]) -> int:
+    """Write the trace to ``path`` (one event per line inside a JSON
+    array) and return the number of events written."""
+    events = chrome_trace_events(telemetry)
+    lines = [
+        json.dumps(event, sort_keys=True, separators=(",", ":"))
+        for event in events
+    ]
+    Path(path).write_text("[\n" + ",\n".join(lines) + "\n]\n")
+    return len(events)

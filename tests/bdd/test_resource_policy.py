@@ -261,7 +261,7 @@ class TestCounters:
         _burn(mgr)
         stats = mgr.resource_stats()
         assert stats["gc_runs"] == mgr.gc_runs
-        assert stats["peak_live_nodes"] >= stats["live_nodes"]
+        assert stats["peak_live_nodes"] >= stats["nodes_live"]
         assert stats["gc_freed"] > 0
 
 

@@ -1,0 +1,80 @@
+"""Chrome-trace export: schema validity, one-event-per-line layout."""
+
+import json
+
+from repro.bdd import BDDManager, Function
+from repro.obs import Telemetry, chrome_trace_events, write_chrome_trace
+
+
+def _recorded():
+    mgr = BDDManager(["a", "b"])
+    t = Telemetry("spans", manager=mgr)
+    with t.span("reachability", machine="m"):
+        Function.var(mgr, "a") & Function.var(mgr, "b")
+        t.event("frontier", iteration=0, frontier_states=2, reached_nodes=3)
+    return t
+
+
+class TestEventSchema:
+    def test_leading_metadata_event(self):
+        events = chrome_trace_events(_recorded())
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"]["name"] == "repro"
+
+    def test_complete_events_carry_required_keys(self):
+        events = chrome_trace_events(_recorded())
+        (span,) = [e for e in events if e["ph"] == "X"]
+        # The Trace Event Format's required keys for a complete event.
+        assert set(span) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+        assert span["name"] == "reachability"
+        assert span["ts"] >= 0 and span["dur"] >= 0
+        # Counter deltas and attrs ride in args.
+        assert span["args"]["machine"] == "m"
+        assert span["args"]["nodes_created"] > 0
+
+    def test_counter_events_for_samples(self):
+        events = chrome_trace_events(_recorded())
+        (counter,) = [e for e in events if e["ph"] == "C"]
+        assert counter["name"] == "frontier"
+        assert counter["args"] == {
+            "iteration": 0, "frontier_states": 2, "reached_nodes": 3,
+        }
+
+    def test_timestamps_are_microseconds_and_ordered(self):
+        t = Telemetry("spans")
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+        events = [e for e in chrome_trace_events(t) if e["ph"] == "X"]
+        assert events[0]["ts"] <= events[1]["ts"]
+
+    def test_fixed_pid_tid(self):
+        for event in chrome_trace_events(_recorded()):
+            assert event["pid"] == 1
+            assert event["tid"] == 1
+
+
+class TestFileLayout:
+    def test_file_is_valid_json_array(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        count = write_chrome_trace(_recorded(), path)
+        events = json.loads(path.read_text())
+        assert isinstance(events, list)
+        assert len(events) == count == 3  # metadata + span + sample
+
+    def test_one_event_per_line(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        count = write_chrome_trace(_recorded(), path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "[" and lines[-1] == "]"
+        body = lines[1:-1]
+        assert len(body) == count
+        for line in body:
+            json.loads(line.rstrip(","))  # each line parses on its own
+
+    def test_empty_recording_still_valid(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_chrome_trace(Telemetry("spans"), path)
+        events = json.loads(path.read_text())
+        assert [e["ph"] for e in events] == ["M"]

@@ -28,12 +28,18 @@ def _run(args, hash_seed, cwd=ROOT):
     return proc
 
 
+#: Every wall-clock key any emission layer writes: stats/metrics
+#: ("seconds", "gc_seconds"), telemetry events ("t"), Chrome trace
+#: events ("ts", "dur"), bench baselines ("wall_seconds").
+TIMING_KEYS = ("seconds", "gc_seconds", "t", "ts", "dur", "wall_seconds")
+
+
 def _strip_timings(data):
     if isinstance(data, dict):
         return {
             k: _strip_timings(v)
             for k, v in data.items()
-            if k not in ("seconds", "gc_seconds")
+            if k not in TIMING_KEYS
         }
     if isinstance(data, list):
         return [_strip_timings(v) for v in data]
@@ -72,6 +78,62 @@ class TestHashSeedInvariance:
             assert proc.returncode == 0, proc.stderr
             reports.append(_strip_timings(json.loads(out.read_text())))
         assert reports[0] == reports[1]
+
+    def test_chrome_trace_is_stable(self, tmp_path):
+        """--trace output (timings stripped) is byte-identical across
+        hash seeds: span order, names, attrs and counter deltas must not
+        leak dict ordering."""
+        stripped = []
+        for hs in HASH_SEEDS:
+            out = tmp_path / f"trace-{hs}.jsonl"
+            proc = _run(
+                ["run", "examples/counter.rml", "--trace", str(out)], hs
+            )
+            assert proc.returncode == 0, proc.stderr
+            events = json.loads(out.read_text())
+            assert isinstance(events, list) and events
+            stripped.append(
+                json.dumps(_strip_timings(events), sort_keys=True)
+            )
+        assert stripped[0] == stripped[1]
+
+    def test_metrics_block_is_stable(self, tmp_path):
+        """Suite JSON with telemetry spans on: the per-job metrics block
+        (timings stripped) is byte-identical across hash seeds."""
+        reports = []
+        for hs in HASH_SEEDS:
+            out = tmp_path / f"suite-tel-{hs}.json"
+            proc = _run(
+                ["suite", "tests/corpus", "--no-builtins",
+                 "--telemetry", "spans", "--json", str(out)],
+                hs,
+            )
+            assert proc.returncode == 0, proc.stderr
+            report = json.loads(out.read_text())
+            for job in report["jobs"]:
+                assert job["metrics"]["level"] == "spans"
+                assert job["metrics"]["spans"]
+            reports.append(
+                json.dumps(_strip_timings(report), sort_keys=True)
+            )
+        assert reports[0] == reports[1]
+
+    def test_telemetry_is_observationally_inert(self):
+        """Verdicts/coverage/trace text are byte-identical with telemetry
+        on or off (spans only read engine state).  Only wall-clock digits
+        are normalised — the node counts in the cost line must match too,
+        proving the recording created no BDD nodes."""
+        import re
+
+        def normalise(text):
+            return re.sub(r"(\d+k?) - \d+\.\d+s", r"\1 - Xs", text)
+
+        base = _run(["counter", "--traces", "2"], "0")
+        spans = _run(
+            ["counter", "--traces", "2", "--telemetry", "spans"], "0"
+        )
+        assert base.returncode == spans.returncode == 0
+        assert normalise(base.stdout) == normalise(spans.stdout)
 
     def test_fuzz_report_is_stable(self, tmp_path):
         reports = []

@@ -35,6 +35,10 @@ class TestValidation:
         with pytest.raises(ConfigError, match="cache-threshold"):
             EngineConfig(cache_threshold=-1)
 
+    def test_unknown_telemetry_level(self):
+        with pytest.raises(ConfigError, match="unknown telemetry level"):
+            EngineConfig(telemetry="verbose")
+
     def test_config_error_is_value_error_and_repro_error(self):
         from repro.errors import ReproError
 
@@ -69,7 +73,7 @@ class TestJsonCodec:
         payload = EngineConfig().to_json()
         assert set(payload) == {
             "trans", "gc_threshold", "gc_growth", "cache_threshold",
-            "auto_reorder",
+            "auto_reorder", "telemetry",
         }
 
     def test_unknown_key_rejected(self):
@@ -93,8 +97,10 @@ class TestCliCodec:
         EngineConfig(gc_threshold=0),
         EngineConfig(gc_threshold=500, auto_reorder=True),
         EngineConfig(gc_growth=1.0, cache_threshold=10_000),
+        EngineConfig(telemetry="spans"),
         EngineConfig(trans="mono", gc_threshold=1, gc_growth=2.5,
-                     cache_threshold=0, auto_reorder=True),
+                     cache_threshold=0, auto_reorder=True,
+                     telemetry="counters"),
     ])
     def test_to_cli_args_round_trips(self, cfg):
         args = self._parser().parse_args(cfg.to_cli_args())
@@ -116,6 +122,10 @@ class TestPolicyCompilation:
     def test_trans_alone_compiles_to_none(self):
         # The transition mode is not a resource knob.
         assert EngineConfig(trans="mono").policy() is None
+
+    def test_telemetry_alone_compiles_to_none(self):
+        # Telemetry is observational, not a resource knob.
+        assert EngineConfig(telemetry="spans").policy() is None
 
     def test_gc_threshold_sets_node_threshold(self):
         policy = EngineConfig(gc_threshold=42).policy()
