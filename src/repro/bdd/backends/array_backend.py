@@ -1,0 +1,1319 @@
+"""The ``array`` backend: struct-of-arrays kernel on flat integer buffers.
+
+Node storage is three parallel ``array('q')`` buffers (level, low, high)
+indexed by node id — the struct-of-arrays layout compiled DD packages use,
+with no per-node Python object and no per-key tuple.  On top of that:
+
+* an **open-addressed unique table**: one flat ``array('q')`` of node ids,
+  probed linearly from an integer hash of ``(level, low, high)``; slot
+  value ``0`` means empty (the FALSE terminal is never hash-consed),
+* **open-addressed operation caches** (:class:`_OpenCache`): parallel key
+  arrays plus a result array, probed the same way.  The caches are *exact*
+  growing memo tables — never lossy — so cache hit/miss counters stay
+  bit-identical to the ``dict`` backend's (the conformance suite pins
+  this),
+* **preallocated explicit-iteration stacks**: each kernel reuses one flat
+  Python list of integers across calls (frames are pushed as individual
+  ints, not tuples).  A checkout protocol (the attribute is ``None`` while
+  a kernel runs) keeps the rare reentrant chains — ``and_exists`` calls
+  ``exists`` / ``apply_or`` mid-frame — on their own stacks,
+* an **index-based GC sweep**: marking paints a ``bytearray`` indexed by
+  node id, the sweep walks the node arrays once, rewrites the free list in
+  place (``_free[0:_free_len]``), brands freed slots with level ``-1``,
+  and rebuilds the unique table without tombstones.
+
+Same algorithms as :mod:`repro.bdd.backends.dict_backend`, different
+physics: identical ROBDD structure, identical enumeration order, identical
+work counters — only the memory layout and probing differ.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .base import FALSE, TERMINAL_LEVEL, TRUE, BDDBackend
+
+# Tags used to keep the shared binary-op cache collision free.
+_OP_AND = 0
+_OP_OR = 1
+_OP_XOR = 2
+
+# Frame phases of the iterative relational product.
+_AE_EXPAND = 0
+_AE_AFTER_LOW = 1
+_AE_AFTER_HIGH = 2
+_AE_AFTER_BOTH = 3
+
+#: Level branded onto recycled node slots (no real level is negative).
+_FREE_LEVEL = -1
+
+# Multipliers of the 3-lane integer hash mix (Knuth/murmur-style odd
+# constants); shared by the unique table and the op caches.
+_MIX_A = 0x9E3779B1
+_MIX_B = 0x85EBCA77
+_MIX_C = 0xC2B2AE3D
+
+_MIN_CACHE_CAPACITY = 256
+_MIN_TABLE_CAPACITY = 256
+
+
+class _OpenCache:
+    """Open-addressed exact memo table from 3 ints to 1 int.
+
+    Three parallel key lanes plus a result lane, all ``array('q')``.  A
+    slot is empty while its first key lane holds ``-1`` (all real keys are
+    non-negative: node ids, op/phase tags, interned profile ids, compose
+    tokens).  ``get`` returns ``-1`` for a miss — results are node ids,
+    which are never negative.  The table doubles at 75% load and never
+    evicts, so it memoises exactly like the dict it replaces.
+    """
+
+    __slots__ = ("_ka", "_kb", "_kc", "_rv", "_mask", "_len")
+
+    def __init__(self, capacity: int = _MIN_CACHE_CAPACITY):
+        self._mask = capacity - 1
+        self._ka = array("q", [-1]) * capacity
+        self._kb = array("q", [0]) * capacity
+        self._kc = array("q", [0]) * capacity
+        self._rv = array("q", [0]) * capacity
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def get(self, a: int, b: int, c: int) -> int:
+        mask = self._mask
+        ka = self._ka
+        kb = self._kb
+        kc = self._kc
+        h = ((a * _MIX_A) ^ (b * _MIX_B) ^ (c * _MIX_C)) & mask
+        while True:
+            cur = ka[h]
+            if cur == -1:
+                return -1
+            if cur == a and kb[h] == b and kc[h] == c:
+                return self._rv[h]
+            h = (h + 1) & mask
+
+    def put(self, a: int, b: int, c: int, r: int) -> None:
+        mask = self._mask
+        ka = self._ka
+        kb = self._kb
+        kc = self._kc
+        h = ((a * _MIX_A) ^ (b * _MIX_B) ^ (c * _MIX_C)) & mask
+        while True:
+            cur = ka[h]
+            if cur == -1:
+                break
+            if cur == a and kb[h] == b and kc[h] == c:
+                self._rv[h] = r
+                return
+            h = (h + 1) & mask
+        ka[h] = a
+        kb[h] = b
+        kc[h] = c
+        self._rv[h] = r
+        self._len += 1
+        if self._len * 4 >= (mask + 1) * 3:
+            self._grow()
+
+    def _grow(self) -> None:
+        old_ka, old_kb, old_kc, old_rv = self._ka, self._kb, self._kc, self._rv
+        capacity = (self._mask + 1) * 2
+        self._mask = capacity - 1
+        self._ka = array("q", [-1]) * capacity
+        self._kb = array("q", [0]) * capacity
+        self._kc = array("q", [0]) * capacity
+        self._rv = array("q", [0]) * capacity
+        mask = self._mask
+        ka = self._ka
+        kb = self._kb
+        kc = self._kc
+        rv = self._rv
+        for i, a in enumerate(old_ka):
+            if a == -1:
+                continue
+            b = old_kb[i]
+            c = old_kc[i]
+            h = ((a * _MIX_A) ^ (b * _MIX_B) ^ (c * _MIX_C)) & mask
+            while ka[h] != -1:
+                h = (h + 1) & mask
+            ka[h] = a
+            kb[h] = b
+            kc[h] = c
+            rv[h] = old_rv[i]
+
+    def clear(self) -> None:
+        if self._len == 0:
+            return
+        capacity = _MIN_CACHE_CAPACITY
+        self._mask = capacity - 1
+        self._ka = array("q", [-1]) * capacity
+        self._kb = array("q", [0]) * capacity
+        self._kc = array("q", [0]) * capacity
+        self._rv = array("q", [0]) * capacity
+        self._len = 0
+
+
+class ArrayBackend(BDDBackend):
+    """Node store + kernels on flat ``array('q')`` buffers."""
+
+    name = "array"
+
+    def __init__(self):
+        # Parallel node arrays; slots 0/1 are the terminals.  The terminal
+        # low/high fields are never read but keep the arrays aligned.
+        self._level = array("q", [TERMINAL_LEVEL, TERMINAL_LEVEL])
+        self._low = array("q", [FALSE, TRUE])
+        self._high = array("q", [FALSE, TRUE])
+        # Open-addressed unique table: slot holds a node id, 0 = empty.
+        self._u_table = array("q", [0]) * _MIN_TABLE_CAPACITY
+        self._u_mask = _MIN_TABLE_CAPACITY - 1
+        self._u_len = 0
+        # Free list, rewritten in place by the GC sweep: only the prefix
+        # ``_free[0:_free_len]`` is meaningful.
+        self._free = array("q")
+        self._free_len = 0
+
+        # Operation caches.
+        self._ite_cache = _OpenCache()
+        self._bin_cache = _OpenCache()
+        self._not_cache = _OpenCache()
+        self._quant_cache = _OpenCache()
+        self._relprod_cache = _OpenCache()
+        self._compose_cache = _OpenCache()
+        self._compose_token = 0
+        self._compose_purged_token = 0
+        self._compose_max_level = -1
+        # Registered quantification profiles: canonical tuple of levels -> id.
+        self._quant_profiles: Dict[Tuple[int, ...], int] = {}
+        self._quant_profile_sets: List[frozenset] = []
+        self._quant_profile_max: List[int] = []
+
+        # Preallocated kernel stacks (flat int lists).  ``None`` while the
+        # owning kernel runs — a reentrant call then falls back to a fresh
+        # list instead of corrupting the outer frame sequence.
+        self._ite_tasks: Optional[List[int]] = []
+        self._ite_results: Optional[List[int]] = []
+        self._bin_tasks: Optional[List[int]] = []
+        self._bin_results: Optional[List[int]] = []
+        self._not_tasks: Optional[List[int]] = []
+        self._not_results: Optional[List[int]] = []
+        self._quant_tasks: Optional[List[int]] = []
+        self._quant_results: Optional[List[int]] = []
+        self._ae_tasks: Optional[List[int]] = []
+        self._ae_results: Optional[List[int]] = []
+        self._restrict_tasks: Optional[List[int]] = []
+        self._restrict_results: Optional[List[int]] = []
+        self._compose_tasks: Optional[List[int]] = []
+        self._compose_results: Optional[List[int]] = []
+
+        # Kernel counters — same names and increment points as the dict
+        # backend (the conformance suite asserts equality).
+        self._created_nodes = 2
+        self._ite_hits = 0
+        self._ite_misses = 0
+        self._bin_hits = [0, 0, 0]
+        self._bin_misses = [0, 0, 0]
+        self._not_hits = 0
+        self._not_misses = 0
+        self._quant_hits = 0
+        self._quant_misses = 0
+        self._restrict_hits = 0
+        self._restrict_misses = 0
+        self._relprod_hits = 0
+        self._relprod_misses = 0
+        self._compose_hits = 0
+        self._compose_misses = 0
+        self._unique_probes = 0
+        self._unique_hits = 0
+
+    # ------------------------------------------------------------------
+    # Node store
+    # ------------------------------------------------------------------
+
+    def mk(self, level: int, low: int, high: int) -> int:
+        """Find-or-create the node ``(level, low, high)`` (the reduce rule)."""
+        if low == high:
+            return low
+        level_arr = self._level
+        low_arr = self._low
+        high_arr = self._high
+        table = self._u_table
+        mask = self._u_mask
+        self._unique_probes += 1
+        h = ((level * _MIX_A) ^ (low * _MIX_B) ^ (high * _MIX_C)) & mask
+        while True:
+            node = table[h]
+            if node == 0:
+                break
+            if (
+                level_arr[node] == level
+                and low_arr[node] == low
+                and high_arr[node] == high
+            ):
+                self._unique_hits += 1
+                return node
+            h = (h + 1) & mask
+        if self._free_len:
+            self._free_len -= 1
+            node = self._free[self._free_len]
+            level_arr[node] = level
+            low_arr[node] = low
+            high_arr[node] = high
+        else:
+            node = len(level_arr)
+            level_arr.append(level)
+            low_arr.append(low)
+            high_arr.append(high)
+        table[h] = node
+        self._u_len += 1
+        self._created_nodes += 1
+        if self._u_len * 4 >= (mask + 1) * 3:
+            self._grow_table()
+        return node
+
+    def find(self, level: int, low: int, high: int) -> Optional[int]:
+        level_arr = self._level
+        low_arr = self._low
+        high_arr = self._high
+        table = self._u_table
+        mask = self._u_mask
+        h = ((level * _MIX_A) ^ (low * _MIX_B) ^ (high * _MIX_C)) & mask
+        while True:
+            node = table[h]
+            if node == 0:
+                return None
+            if (
+                level_arr[node] == level
+                and low_arr[node] == low
+                and high_arr[node] == high
+            ):
+                return node
+            h = (h + 1) & mask
+
+    def _grow_table(self) -> None:
+        self._rebuild_table(capacity=(self._u_mask + 1) * 2)
+
+    def _table_insert(self, node: int) -> None:
+        """Insert ``node`` under its current field key (no counters).
+
+        Mirrors the dict backend's raw ``_unique[key] = node`` writes during
+        level swaps: an existing entry with the same key is displaced.
+        """
+        level = self._level[node]
+        low = self._low[node]
+        high = self._high[node]
+        level_arr = self._level
+        low_arr = self._low
+        high_arr = self._high
+        table = self._u_table
+        mask = self._u_mask
+        h = ((level * _MIX_A) ^ (low * _MIX_B) ^ (high * _MIX_C)) & mask
+        while True:
+            cur = table[h]
+            if cur == 0:
+                table[h] = node
+                self._u_len += 1
+                if self._u_len * 4 >= (mask + 1) * 3:
+                    self._grow_table()
+                return
+            if (
+                level_arr[cur] == level
+                and low_arr[cur] == low
+                and high_arr[cur] == high
+            ):
+                table[h] = node
+                return
+            h = (h + 1) & mask
+
+    def _rebuild_table(
+        self,
+        capacity: Optional[int] = None,
+        skip_levels: Tuple[int, ...] = (),
+    ) -> None:
+        """Re-hash every live node into a fresh table.
+
+        Open addressing has no cheap deletion; bulk removals (the GC sweep,
+        the two levels of an adjacent swap) rebuild instead, which also
+        compacts probe chains.  Nodes whose level is in ``skip_levels`` are
+        left out (the swap re-inserts them phase by phase).
+        """
+        level_arr = self._level
+        low_arr = self._low
+        high_arr = self._high
+        if capacity is None:
+            # Enough room for every allocated slot at <= 50% load.
+            capacity = _MIN_TABLE_CAPACITY
+            need = (len(level_arr) - self._free_len) * 2
+            while capacity < need:
+                capacity *= 2
+        table = array("q", [0]) * capacity
+        mask = capacity - 1
+        count = 0
+        for node in range(2, len(level_arr)):
+            level = level_arr[node]
+            if level == _FREE_LEVEL or level in skip_levels:
+                continue
+            low = low_arr[node]
+            high = high_arr[node]
+            h = ((level * _MIX_A) ^ (low * _MIX_B) ^ (high * _MIX_C)) & mask
+            while True:
+                cur = table[h]
+                if cur == 0:
+                    table[h] = node
+                    count += 1
+                    break
+                if (
+                    level_arr[cur] == level
+                    and low_arr[cur] == low
+                    and high_arr[cur] == high
+                ):
+                    break  # duplicate function (transient swap artefact)
+                h = (h + 1) & mask
+        self._u_table = table
+        self._u_mask = mask
+        self._u_len = count
+
+    def level_of(self, node: int) -> int:
+        return self._level[node]
+
+    def low_of(self, node: int) -> int:
+        return self._low[node]
+
+    def high_of(self, node: int) -> int:
+        return self._high[node]
+
+    def node_count(self) -> int:
+        return len(self._level) - self._free_len
+
+    def unique_size(self) -> int:
+        return self._u_len
+
+    @property
+    def created_nodes(self) -> int:
+        return self._created_nodes
+
+    def size(self, node: int) -> int:
+        seen = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            if n > TRUE:
+                stack.append(self._low[n])
+                stack.append(self._high[n])
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # Core operators
+    # ------------------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        level_arr = self._level
+        low_arr = self._low
+        high_arr = self._high
+        cache = self._ite_cache
+        cache_get = cache.get
+        cache_put = cache.put
+        hits = misses = 0
+        tasks = self._ite_tasks
+        results = self._ite_results
+        if tasks is None or results is None:
+            tasks = []
+            results = []
+        else:
+            self._ite_tasks = None
+            self._ite_results = None
+        # Frames are 4 flat ints: f, g, h, combine-flag.
+        tasks.append(f)
+        tasks.append(g)
+        tasks.append(h)
+        tasks.append(0)
+        while tasks:
+            combine = tasks.pop()
+            h = tasks.pop()
+            g = tasks.pop()
+            f = tasks.pop()
+            if combine:
+                high = results.pop()
+                low = results.pop()
+                level = min(level_arr[f], level_arr[g], level_arr[h])
+                result = self.mk(level, low, high)
+                cache_put(f, g, h, result)
+                results.append(result)
+                continue
+            if f == TRUE:
+                results.append(g)
+                continue
+            if f == FALSE:
+                results.append(h)
+                continue
+            if g == h:
+                results.append(g)
+                continue
+            if g == TRUE and h == FALSE:
+                results.append(f)
+                continue
+            cached = cache_get(f, g, h)
+            if cached >= 0:
+                hits += 1
+                results.append(cached)
+                continue
+            misses += 1
+            level = min(level_arr[f], level_arr[g], level_arr[h])
+            if level_arr[f] == level:
+                f0, f1 = low_arr[f], high_arr[f]
+            else:
+                f0 = f1 = f
+            if level_arr[g] == level:
+                g0, g1 = low_arr[g], high_arr[g]
+            else:
+                g0 = g1 = g
+            if level_arr[h] == level:
+                h0, h1 = low_arr[h], high_arr[h]
+            else:
+                h0 = h1 = h
+            tasks.append(f)
+            tasks.append(g)
+            tasks.append(h)
+            tasks.append(1)
+            tasks.append(f1)
+            tasks.append(g1)
+            tasks.append(h1)
+            tasks.append(0)
+            tasks.append(f0)
+            tasks.append(g0)
+            tasks.append(h0)
+            tasks.append(0)
+        self._ite_hits += hits
+        self._ite_misses += misses
+        result = results.pop()
+        self._ite_tasks = tasks
+        self._ite_results = results
+        return result
+
+    def apply_not(self, f: int) -> int:
+        if f == FALSE:
+            return TRUE
+        if f == TRUE:
+            return FALSE
+        cache = self._not_cache
+        cache_get = cache.get
+        cache_put = cache.put
+        cached = cache_get(f, 0, 0)
+        if cached >= 0:
+            self._not_hits += 1
+            return cached
+        level_arr = self._level
+        hits = misses = 0
+        tasks = self._not_tasks
+        results = self._not_results
+        if tasks is None or results is None:
+            tasks = []
+            results = []
+        else:
+            self._not_tasks = None
+            self._not_results = None
+        # Frames are 2 flat ints: f, combine-flag.
+        tasks.append(f)
+        tasks.append(0)
+        while tasks:
+            combine = tasks.pop()
+            f = tasks.pop()
+            if combine:
+                high = results.pop()
+                low = results.pop()
+                result = self.mk(level_arr[f], low, high)
+                cache_put(f, 0, 0, result)
+                # Negation is an involution: seed the reverse direction too.
+                cache_put(result, 0, 0, f)
+                results.append(result)
+                continue
+            if f == FALSE:
+                results.append(TRUE)
+                continue
+            if f == TRUE:
+                results.append(FALSE)
+                continue
+            cached = cache_get(f, 0, 0)
+            if cached >= 0:
+                hits += 1
+                results.append(cached)
+                continue
+            misses += 1
+            tasks.append(f)
+            tasks.append(1)
+            tasks.append(self._high[f])
+            tasks.append(0)
+            tasks.append(self._low[f])
+            tasks.append(0)
+        self._not_hits += hits
+        self._not_misses += misses
+        result = results.pop()
+        self._not_tasks = tasks
+        self._not_results = results
+        return result
+
+    def _apply_bin(self, op: int, f: int, g: int) -> int:
+        """Iterative core shared by the three memoised binary operators."""
+        level_arr = self._level
+        low_arr = self._low
+        high_arr = self._high
+        cache = self._bin_cache
+        cache_get = cache.get
+        cache_put = cache.put
+        hits = misses = 0
+        tasks = self._bin_tasks
+        results = self._bin_results
+        if tasks is None or results is None:
+            tasks = []
+            results = []
+        else:
+            self._bin_tasks = None
+            self._bin_results = None
+        # Frames are 3 flat ints: f, g, combine-flag.
+        tasks.append(f)
+        tasks.append(g)
+        tasks.append(0)
+        while tasks:
+            combine = tasks.pop()
+            g = tasks.pop()
+            f = tasks.pop()
+            if combine:
+                high = results.pop()
+                low = results.pop()
+                lf, lg = level_arr[f], level_arr[g]
+                result = self.mk(lf if lf < lg else lg, low, high)
+                cache_put(op, f, g, result)
+                results.append(result)
+                continue
+            # Operator-specific terminal cases (same rules as the classic
+            # recursive formulation).
+            if op == _OP_AND:
+                if f == FALSE or g == FALSE:
+                    results.append(FALSE)
+                    continue
+                if f == TRUE:
+                    results.append(g)
+                    continue
+                if g == TRUE or f == g:
+                    results.append(f)
+                    continue
+            elif op == _OP_OR:
+                if f == TRUE or g == TRUE:
+                    results.append(TRUE)
+                    continue
+                if f == FALSE:
+                    results.append(g)
+                    continue
+                if g == FALSE or f == g:
+                    results.append(f)
+                    continue
+            else:  # _OP_XOR
+                if f == g:
+                    results.append(FALSE)
+                    continue
+                if f == FALSE:
+                    results.append(g)
+                    continue
+                if g == FALSE:
+                    results.append(f)
+                    continue
+                if f == TRUE:
+                    results.append(self.apply_not(g))
+                    continue
+                if g == TRUE:
+                    results.append(self.apply_not(f))
+                    continue
+            if f > g:  # commutativity-normalised cache
+                f, g = g, f
+            cached = cache_get(op, f, g)
+            if cached >= 0:
+                hits += 1
+                results.append(cached)
+                continue
+            misses += 1
+            lf, lg = level_arr[f], level_arr[g]
+            level = lf if lf < lg else lg
+            if lf == level:
+                f0, f1 = low_arr[f], high_arr[f]
+            else:
+                f0 = f1 = f
+            if lg == level:
+                g0, g1 = low_arr[g], high_arr[g]
+            else:
+                g0 = g1 = g
+            tasks.append(f)
+            tasks.append(g)
+            tasks.append(1)
+            tasks.append(f1)
+            tasks.append(g1)
+            tasks.append(0)
+            tasks.append(f0)
+            tasks.append(g0)
+            tasks.append(0)
+        self._bin_hits[op] += hits
+        self._bin_misses[op] += misses
+        result = results.pop()
+        self._bin_tasks = tasks
+        self._bin_results = results
+        return result
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self._apply_bin(_OP_AND, f, g)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self._apply_bin(_OP_OR, f, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self._apply_bin(_OP_XOR, f, g)
+
+    # ------------------------------------------------------------------
+    # Quantification
+    # ------------------------------------------------------------------
+
+    def _quant_profile(self, levels: Sequence[int]) -> int:
+        key = tuple(levels)
+        profile = self._quant_profiles.get(key)
+        if profile is None:
+            profile = len(self._quant_profile_sets)
+            self._quant_profiles[key] = profile
+            self._quant_profile_sets.append(frozenset(key))
+            self._quant_profile_max.append(max(key) if key else -1)
+        return profile
+
+    def _quantify_profile(self, f: int, profile: int, disjunctive: bool) -> int:
+        level_arr = self._level
+        qset = self._quant_profile_sets[profile]
+        qmax = self._quant_profile_max[profile]
+        cache = self._quant_cache
+        cache_get = cache.get
+        cache_put = cache.put
+        tag = 0 if disjunctive else 1
+        hits = misses = 0
+        tasks = self._quant_tasks
+        results = self._quant_results
+        if tasks is None or results is None:
+            tasks = []
+            results = []
+        else:
+            self._quant_tasks = None
+            self._quant_results = None
+        tasks.append(f)
+        tasks.append(0)
+        while tasks:
+            combine = tasks.pop()
+            f = tasks.pop()
+            if combine:
+                high = results.pop()
+                low = results.pop()
+                level = level_arr[f]
+                if level in qset:
+                    if disjunctive:
+                        result = self.apply_or(low, high)
+                    else:
+                        result = self.apply_and(low, high)
+                else:
+                    result = self.mk(level, low, high)
+                cache_put(tag, f, profile, result)
+                results.append(result)
+                continue
+            if f <= TRUE or level_arr[f] > qmax:
+                results.append(f)
+                continue
+            cached = cache_get(tag, f, profile)
+            if cached >= 0:
+                hits += 1
+                results.append(cached)
+                continue
+            misses += 1
+            tasks.append(f)
+            tasks.append(1)
+            tasks.append(self._high[f])
+            tasks.append(0)
+            tasks.append(self._low[f])
+            tasks.append(0)
+        self._quant_hits += hits
+        self._quant_misses += misses
+        result = results.pop()
+        self._quant_tasks = tasks
+        self._quant_results = results
+        return result
+
+    def _exists_profile(self, f: int, profile: int) -> int:
+        return self._quantify_profile(f, profile, disjunctive=True)
+
+    def exists_levels(self, f: int, levels: Sequence[int]) -> int:
+        if not levels:
+            return f
+        return self._exists_profile(f, self._quant_profile(levels))
+
+    def forall_levels(self, f: int, levels: Sequence[int]) -> int:
+        if not levels:
+            return f
+        return self._quantify_profile(
+            f, self._quant_profile(levels), disjunctive=False
+        )
+
+    def and_exists_levels(self, f: int, g: int, levels: Sequence[int]) -> int:
+        if not levels:
+            return self.apply_and(f, g)
+        return self._and_exists_profile(f, g, self._quant_profile(levels))
+
+    def _and_exists_profile(self, f: int, g: int, profile: int) -> int:
+        level_arr = self._level
+        low_arr = self._low
+        high_arr = self._high
+        qset = self._quant_profile_sets[profile]
+        qmax = self._quant_profile_max[profile]
+        cache = self._relprod_cache
+        cache_get = cache.get
+        cache_put = cache.put
+        hits = misses = 0
+        tasks = self._ae_tasks
+        results = self._ae_results
+        if tasks is None or results is None:
+            tasks = []
+            results = []
+        else:
+            self._ae_tasks = None
+            self._ae_results = None
+        # Frames are 5 flat ints: phase, f, g, c, d (see dict backend for
+        # the per-phase payload meanings).
+        tasks.append(_AE_EXPAND)
+        tasks.append(f)
+        tasks.append(g)
+        tasks.append(0)
+        tasks.append(0)
+        while tasks:
+            d = tasks.pop()
+            c = tasks.pop()
+            g = tasks.pop()
+            f = tasks.pop()
+            phase = tasks.pop()
+            if phase == _AE_EXPAND:
+                if f == FALSE or g == FALSE:
+                    results.append(FALSE)
+                    continue
+                if f == TRUE and g == TRUE:
+                    results.append(TRUE)
+                    continue
+                if f == TRUE:
+                    results.append(self._exists_profile(g, profile))
+                    continue
+                if g == TRUE or f == g:
+                    results.append(self._exists_profile(f, profile))
+                    continue
+                if level_arr[f] > qmax and level_arr[g] > qmax:
+                    results.append(self.apply_and(f, g))
+                    continue
+                if f > g:
+                    f, g = g, f
+                cached = cache_get(f, g, profile)
+                if cached >= 0:
+                    hits += 1
+                    results.append(cached)
+                    continue
+                misses += 1
+                lf, lg = level_arr[f], level_arr[g]
+                level = lf if lf < lg else lg
+                if lf == level:
+                    f0, f1 = low_arr[f], high_arr[f]
+                else:
+                    f0 = f1 = f
+                if lg == level:
+                    g0, g1 = low_arr[g], high_arr[g]
+                else:
+                    g0 = g1 = g
+                if level in qset:
+                    # Quantified level: compute the low branch first and
+                    # short-circuit the high branch when it is already TRUE.
+                    tasks.append(_AE_AFTER_LOW)
+                    tasks.append(f)
+                    tasks.append(g)
+                    tasks.append(f1)
+                    tasks.append(g1)
+                    tasks.append(_AE_EXPAND)
+                    tasks.append(f0)
+                    tasks.append(g0)
+                    tasks.append(0)
+                    tasks.append(0)
+                else:
+                    tasks.append(_AE_AFTER_BOTH)
+                    tasks.append(f)
+                    tasks.append(g)
+                    tasks.append(0)
+                    tasks.append(0)
+                    tasks.append(_AE_EXPAND)
+                    tasks.append(f1)
+                    tasks.append(g1)
+                    tasks.append(0)
+                    tasks.append(0)
+                    tasks.append(_AE_EXPAND)
+                    tasks.append(f0)
+                    tasks.append(g0)
+                    tasks.append(0)
+                    tasks.append(0)
+            elif phase == _AE_AFTER_LOW:
+                low = results.pop()
+                if low == TRUE:
+                    cache_put(f, g, profile, TRUE)
+                    results.append(TRUE)
+                    continue
+                tasks.append(_AE_AFTER_HIGH)
+                tasks.append(f)
+                tasks.append(g)
+                tasks.append(low)
+                tasks.append(0)
+                tasks.append(_AE_EXPAND)
+                tasks.append(c)
+                tasks.append(d)
+                tasks.append(0)
+                tasks.append(0)
+            elif phase == _AE_AFTER_HIGH:
+                high = results.pop()
+                result = self.apply_or(c, high)
+                cache_put(f, g, profile, result)
+                results.append(result)
+            else:  # _AE_AFTER_BOTH
+                high = results.pop()
+                low = results.pop()
+                lf, lg = level_arr[f], level_arr[g]
+                result = self.mk(lf if lf < lg else lg, low, high)
+                cache_put(f, g, profile, result)
+                results.append(result)
+        self._relprod_hits += hits
+        self._relprod_misses += misses
+        result = results.pop()
+        self._ae_tasks = tasks
+        self._ae_results = results
+        return result
+
+    # ------------------------------------------------------------------
+    # Cofactor / composition / renaming
+    # ------------------------------------------------------------------
+
+    def restrict_level(self, f: int, level: int, value: bool) -> int:
+        level_arr = self._level
+        cache = self._quant_cache
+        cache_get = cache.get
+        cache_put = cache.put
+        tag = 2 if value else 3
+        hits = misses = 0
+        tasks = self._restrict_tasks
+        results = self._restrict_results
+        if tasks is None or results is None:
+            tasks = []
+            results = []
+        else:
+            self._restrict_tasks = None
+            self._restrict_results = None
+        tasks.append(f)
+        tasks.append(0)
+        while tasks:
+            combine = tasks.pop()
+            f = tasks.pop()
+            if combine:
+                high = results.pop()
+                low = results.pop()
+                result = self.mk(level_arr[f], low, high)
+                cache_put(tag, f, level, result)
+                results.append(result)
+                continue
+            if f <= TRUE or level_arr[f] > level:
+                results.append(f)
+                continue
+            cached = cache_get(tag, f, level)
+            if cached >= 0:
+                hits += 1
+                results.append(cached)
+                continue
+            misses += 1
+            if level_arr[f] == level:
+                # The restricted variable cannot reappear below its level,
+                # so the chosen child is already fully restricted.
+                result = self._high[f] if value else self._low[f]
+                cache_put(tag, f, level, result)
+                results.append(result)
+                continue
+            tasks.append(f)
+            tasks.append(1)
+            tasks.append(self._high[f])
+            tasks.append(0)
+            tasks.append(self._low[f])
+            tasks.append(0)
+        self._restrict_hits += hits
+        self._restrict_misses += misses
+        result = results.pop()
+        self._restrict_tasks = tasks
+        self._restrict_results = results
+        return result
+
+    def compose_levels(self, f: int, by_level: Dict[int, int]) -> int:
+        if not by_level:
+            return f
+        # A fresh token keys this substitution in the (shared) compose
+        # cache; stale generations are purged wholesale (see dict backend).
+        self._compose_token += 1
+        if (
+            self._compose_token - self._compose_purged_token
+            >= self.compose_generations
+        ):
+            self._compose_cache.clear()
+            self._compose_purged_token = self._compose_token
+        self._compose_max_level = max(by_level)
+        return self._compose_rec(f, by_level)
+
+    def _compose_rec(self, f: int, by_level: Dict[int, int]) -> int:
+        level_arr = self._level
+        max_level = self._compose_max_level
+        token = self._compose_token
+        cache = self._compose_cache
+        cache_get = cache.get
+        cache_put = cache.put
+        hits = misses = 0
+        tasks = self._compose_tasks
+        results = self._compose_results
+        if tasks is None or results is None:
+            tasks = []
+            results = []
+        else:
+            self._compose_tasks = None
+            self._compose_results = None
+        tasks.append(f)
+        tasks.append(0)
+        while tasks:
+            combine = tasks.pop()
+            f = tasks.pop()
+            if combine:
+                high = results.pop()
+                low = results.pop()
+                level = level_arr[f]
+                replacement = by_level.get(level)
+                if replacement is None:
+                    replacement = self.mk(level, FALSE, TRUE)
+                result = self.ite(replacement, high, low)
+                cache_put(token, f, 0, result)
+                results.append(result)
+                continue
+            if f <= TRUE or level_arr[f] > max_level:
+                results.append(f)
+                continue
+            cached = cache_get(token, f, 0)
+            if cached >= 0:
+                hits += 1
+                results.append(cached)
+                continue
+            misses += 1
+            tasks.append(f)
+            tasks.append(1)
+            tasks.append(self._high[f])
+            tasks.append(0)
+            tasks.append(self._low[f])
+            tasks.append(0)
+        self._compose_hits += hits
+        self._compose_misses += misses
+        result = results.pop()
+        self._compose_tasks = tasks
+        self._compose_results = results
+        return result
+
+    def rename_monotone(self, f: int, level_map: Dict[int, int]) -> int:
+        level_arr = self._level
+        cache: Dict[int, int] = {}
+        tasks: List[int] = [f, 0]
+        results: List[int] = []
+        while tasks:
+            combine = tasks.pop()
+            f = tasks.pop()
+            if combine:
+                high = results.pop()
+                low = results.pop()
+                level = level_arr[f]
+                result = self.mk(level_map.get(level, level), low, high)
+                cache[f] = result
+                results.append(result)
+                continue
+            if f <= TRUE:
+                results.append(f)
+                continue
+            cached = cache.get(f)
+            if cached is not None:
+                results.append(cached)
+                continue
+            tasks.append(f)
+            tasks.append(1)
+            tasks.append(self._high[f])
+            tasks.append(0)
+            tasks.append(self._low[f])
+            tasks.append(0)
+        return results[0]
+
+    # ------------------------------------------------------------------
+    # Satisfying assignments
+    # ------------------------------------------------------------------
+
+    def satcount_levels(self, f: int, levels: Sequence[int]) -> int:
+        rank = {lvl: i for i, lvl in enumerate(levels)}
+        n = len(rank)
+        if f == FALSE:
+            return 0
+        if f == TRUE:
+            return 1 << n
+        level_arr = self._level
+        low_arr = self._low
+        high_arr = self._high
+        # Counts are arbitrary-precision, so the memo stays a Python dict.
+        memo: Dict[int, int] = {FALSE: 0, TRUE: 1}
+        tasks: List[int] = [f, 0]
+        while tasks:
+            combine = tasks.pop()
+            node = tasks.pop()
+            if combine:
+                r = rank[level_arr[node]]
+                low, high = low_arr[node], high_arr[node]
+                low_rank = rank[level_arr[low]] if low > TRUE else n
+                high_rank = rank[level_arr[high]] if high > TRUE else n
+                memo[node] = (memo[low] << (low_rank - r - 1)) + (
+                    memo[high] << (high_rank - r - 1)
+                )
+                continue
+            if node in memo:
+                continue
+            tasks.append(node)
+            tasks.append(1)
+            tasks.append(high_arr[node])
+            tasks.append(0)
+            tasks.append(low_arr[node])
+            tasks.append(0)
+        return memo[f] << rank[self._level[f]]
+
+    def support_levels(self, f: int) -> List[int]:
+        seen = set()
+        levels = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= TRUE or node in seen:
+                continue
+            seen.add(node)
+            levels.add(self._level[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return sorted(levels)
+
+    def iter_cube_paths(self, f: int) -> Iterator[List[Tuple[int, bool]]]:
+        if f == FALSE:
+            return
+        path: List[Tuple[int, bool]] = []
+        # Same low-first DFS as the dict backend (enumeration order is part
+        # of the backend contract).
+        stack: List[Tuple[int, int, int, bool]] = [(f, 0, -1, False)]
+        while stack:
+            node, plen, level, value = stack.pop()
+            del path[plen:]
+            if level >= 0:
+                path.append((level, value))
+            if node == FALSE:
+                continue
+            if node == TRUE:
+                yield list(path)
+                continue
+            lvl = self._level[node]
+            depth = len(path)
+            stack.append((self._high[node], depth, lvl, True))
+            stack.append((self._low[node], depth, lvl, False))
+
+    def cube_levels(self, assignment: Dict[int, bool]) -> int:
+        result = TRUE
+        for level in sorted(assignment, reverse=True):
+            if assignment[level]:
+                result = self.mk(level, FALSE, result)
+            else:
+                result = self.mk(level, result, FALSE)
+        return result
+
+    # ------------------------------------------------------------------
+    # Caches, garbage, reordering support
+    # ------------------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        self._ite_cache.clear()
+        self._bin_cache.clear()
+        self._not_cache.clear()
+        self._quant_cache.clear()
+        self._relprod_cache.clear()
+        self._compose_cache.clear()
+        self._compose_purged_token = self._compose_token
+
+    def cache_entry_count(self) -> int:
+        return (
+            len(self._ite_cache)
+            + len(self._bin_cache)
+            + len(self._not_cache)
+            + len(self._quant_cache)
+            + len(self._relprod_cache)
+            + len(self._compose_cache)
+        )
+
+    def _mark(self, roots: Iterable[int]) -> bytearray:
+        marked = bytearray(len(self._level))
+        marked[FALSE] = 1
+        marked[TRUE] = 1
+        low_arr = self._low
+        high_arr = self._high
+        stack = [r for r in roots if r > TRUE]
+        while stack:
+            node = stack.pop()
+            if marked[node]:
+                continue
+            marked[node] = 1
+            stack.append(low_arr[node])
+            stack.append(high_arr[node])
+        return marked
+
+    def collect(self, roots: Iterable[int]) -> int:
+        marked = self._mark(roots)
+        level_arr = self._level
+        free = self._free
+        free_len = self._free_len
+        free_cap = len(free)
+        freed = 0
+        # Index sweep: brand dead slots and rewrite the free list in place
+        # (only the prefix [0:_free_len] is live; the tail is reused
+        # scratch from earlier sweeps).
+        for node in range(2, len(level_arr)):
+            if level_arr[node] != _FREE_LEVEL and not marked[node]:
+                level_arr[node] = _FREE_LEVEL
+                if free_len < free_cap:
+                    free[free_len] = node
+                else:
+                    free.append(node)
+                    free_cap += 1
+                free_len += 1
+                freed += 1
+        self._free_len = free_len
+        if freed:
+            # The unique table still references the swept slots; rebuild it
+            # from the survivors (open addressing has no cheap deletion).
+            # Caches may reference recycled slots too — drop them.  As in
+            # the dict backend, a sweep that freed nothing keeps both.
+            self._rebuild_table()
+            self.clear_caches()
+        return freed
+
+    def live_count(self, roots: Iterable[int]) -> int:
+        marked = self._mark(roots)
+        count = 0
+        for flag in marked:
+            count += flag
+        return count
+
+    def level_occupancy(self) -> Dict[int, int]:
+        occupancy: Dict[int, int] = {}
+        level_arr = self._level
+        for node in range(2, len(level_arr)):
+            lvl = level_arr[node]
+            if lvl != _FREE_LEVEL:
+                occupancy[lvl] = occupancy.get(lvl, 0) + 1
+        return occupancy
+
+    def swap_adjacent_levels(self, upper: int) -> None:
+        lower = upper + 1
+        level_arr = self._level
+        low_arr = self._low
+        high_arr = self._high
+
+        # Partition the two levels' nodes; rebuild the unique table without
+        # them (they are re-inserted phase by phase below).
+        upper_nodes: List[int] = []
+        lower_nodes: List[int] = []
+        for node in range(2, len(level_arr)):
+            lvl = level_arr[node]
+            if lvl == upper:
+                upper_nodes.append(node)
+            elif lvl == lower:
+                lower_nodes.append(node)
+        self._rebuild_table(skip_levels=(upper, lower))
+
+        # Phase 1: old upper-level nodes that do NOT depend on the lower
+        # variable simply sink one level (same children, same function).
+        dependent: List[int] = []
+        for node in upper_nodes:
+            low, high = low_arr[node], high_arr[node]
+            if level_arr[low] == lower or level_arr[high] == lower:
+                dependent.append(node)
+            else:
+                level_arr[node] = lower
+                self._table_insert(node)
+
+        # Phase 2: old lower-level nodes float up (their children are
+        # strictly below both levels, so they are well-formed at the upper
+        # level).
+        for node in lower_nodes:
+            level_arr[node] = upper
+            self._table_insert(node)
+
+        # Phase 3: rewrite the dependent nodes in place (see the dict
+        # backend for the cofactor algebra and the phase-2 invariant).
+        for node in dependent:
+            f0, f1 = low_arr[node], high_arr[node]
+            if level_arr[f0] == upper:
+                f00, f01 = low_arr[f0], high_arr[f0]
+            else:
+                f00 = f01 = f0
+            if level_arr[f1] == upper:
+                f10, f11 = low_arr[f1], high_arr[f1]
+            else:
+                f10 = f11 = f1
+            new_low = self.mk(lower, f00, f10)
+            new_high = self.mk(lower, f01, f11)
+            level_arr[node] = upper
+            low_arr[node] = new_low
+            high_arr[node] = new_high
+            self._table_insert(node)
+
+    def invalidate_level_structures(self) -> None:
+        self.clear_caches()
+        self._quant_profiles.clear()
+        self._quant_profile_sets.clear()
+        self._quant_profile_max.clear()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "nodes_created": self._created_nodes,
+            "unique_probes": self._unique_probes,
+            "unique_hits": self._unique_hits,
+            "ite_hits": self._ite_hits,
+            "ite_misses": self._ite_misses,
+            "and_hits": self._bin_hits[_OP_AND],
+            "and_misses": self._bin_misses[_OP_AND],
+            "or_hits": self._bin_hits[_OP_OR],
+            "or_misses": self._bin_misses[_OP_OR],
+            "xor_hits": self._bin_hits[_OP_XOR],
+            "xor_misses": self._bin_misses[_OP_XOR],
+            "not_hits": self._not_hits,
+            "not_misses": self._not_misses,
+            "quant_hits": self._quant_hits,
+            "quant_misses": self._quant_misses,
+            "restrict_hits": self._restrict_hits,
+            "restrict_misses": self._restrict_misses,
+            "relprod_hits": self._relprod_hits,
+            "relprod_misses": self._relprod_misses,
+            "compose_hits": self._compose_hits,
+            "compose_misses": self._compose_misses,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ArrayBackend nodes={self.node_count()} "
+            f"created={self._created_nodes}>"
+        )

@@ -21,8 +21,11 @@ from .manager import BDDManager
 def swap_adjacent(manager: BDDManager, level: int) -> None:
     """Swap the variables at ``level`` and ``level + 1`` in place.
 
-    All node ids keep denoting the same Boolean function.  Operation caches
-    and quantification profiles are invalidated.
+    All node ids keep denoting the same Boolean function.  The node-level
+    rewrite (the three-phase sink/float/rewrite sweep) is the backend's
+    :meth:`~repro.bdd.backends.base.BDDBackend.swap_adjacent_levels`; this
+    function owns the variable<->level bookkeeping and invalidates the
+    operation caches and quantification profiles afterwards.
     """
     m = manager
     upper = level
@@ -30,56 +33,7 @@ def swap_adjacent(manager: BDDManager, level: int) -> None:
     if lower >= len(m._level2var):
         raise IndexError(f"cannot swap level {level}: no level below it")
 
-    # Partition the two levels' nodes.  Everything is re-inserted below.
-    upper_nodes: List[int] = []
-    lower_nodes: List[int] = []
-    for (lvl, _low, _high), node in list(m._unique.items()):
-        if lvl == upper:
-            upper_nodes.append(node)
-            del m._unique[(lvl, _low, _high)]
-        elif lvl == lower:
-            lower_nodes.append(node)
-            del m._unique[(lvl, _low, _high)]
-
-    # Phase 1: old upper-level nodes that do NOT depend on the lower variable
-    # simply sink one level (same children, same function).
-    dependent: List[int] = []
-    for node in upper_nodes:
-        low, high = m._low[node], m._high[node]
-        if m._level[low] == lower or m._level[high] == lower:
-            dependent.append(node)
-        else:
-            m._level[node] = lower
-            m._unique[(lower, low, high)] = node
-
-    # Phase 2: old lower-level nodes float up (their children are strictly
-    # below both levels, so they are well-formed at the upper level).
-    for node in lower_nodes:
-        m._level[node] = upper
-        m._unique[(upper, m._low[node], m._high[node])] = node
-
-    # Phase 3: rewrite the dependent nodes.  With x the old upper variable
-    # and y the old lower one,  f = x?(y?f11:f10):(y?f01:f00)  becomes
-    # f = y?(x?f11:f01):(x?f10:f00)  where x now lives at the lower level.
-    # After phase 2, a child at level `upper` is necessarily an old
-    # lower-level node (original children of upper nodes were at levels
-    # >= lower, and only old lower nodes were floated up).
-    for node in dependent:
-        f0, f1 = m._low[node], m._high[node]
-        if m._level[f0] == upper:
-            f00, f01 = m._low[f0], m._high[f0]
-        else:
-            f00 = f01 = f0
-        if m._level[f1] == upper:
-            f10, f11 = m._low[f1], m._high[f1]
-        else:
-            f10 = f11 = f1
-        new_low = m._mk(lower, f00, f10)
-        new_high = m._mk(lower, f01, f11)
-        m._level[node] = upper
-        m._low[node] = new_low
-        m._high[node] = new_high
-        m._unique[(upper, new_low, new_high)] = node
+    m.backend.swap_adjacent_levels(upper)
 
     # Swap the variable <-> level bookkeeping.
     var_upper = m._level2var[upper]
@@ -89,10 +43,7 @@ def swap_adjacent(manager: BDDManager, level: int) -> None:
     m._var2level[var_lower] = upper
 
     # Levels changed meaning: every cache and level-keyed profile is stale.
-    m.clear_caches()
-    m._quant_profiles.clear()
-    m._quant_profile_sets.clear()
-    m._quant_profile_max.clear()
+    m.backend.invalidate_level_structures()
 
 
 def move_var_to_level(manager: BDDManager, var: int, target_level: int) -> None:
@@ -147,9 +98,7 @@ def sift(
     start_size = m.live_node_count()
     nlevels = len(m._level2var)
     # Order variables by how many nodes currently sit at their level.
-    occupancy = {lvl: 0 for lvl in range(nlevels)}
-    for (lvl, _l, _h) in m._unique:
-        occupancy[lvl] = occupancy.get(lvl, 0) + 1
+    occupancy = m.backend.level_occupancy()
     todo = sorted(range(m.num_vars), key=lambda v: -occupancy.get(m.var_level(v), 0))
     if max_vars is not None:
         todo = todo[: max(0, max_vars)]
@@ -168,7 +117,7 @@ def sift(
             # Keep the table near the live size mid-sweep too — one long
             # sweep over a big level strands enough garbage to dominate
             # every later swap's table scan otherwise.
-            if len(m._unique) > 2 * best_size + 256:
+            if m.backend.unique_size() > 2 * best_size + 256:
                 m.collect_garbage()
             return m.live_node_count()
 

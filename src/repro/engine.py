@@ -41,6 +41,7 @@ import warnings
 from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional
 
+from .bdd.backends import BACKEND_DICT, BACKEND_NAMES
 from .errors import ConfigError
 from .obs.telemetry import TELEMETRY_LEVELS, TELEMETRY_OFF
 
@@ -50,6 +51,7 @@ __all__ = [
     "TRANS_MONO",
     "TRANS_PARTITIONED",
     "TRANS_MODES",
+    "BACKEND_NAMES",
 ]
 
 #: Execute images through the monolithic transition relation.
@@ -91,6 +93,12 @@ class EngineConfig:
         engine counters in reports), or ``"spans"`` (full phase spans and
         frontier events — what ``--profile`` and ``--trace`` need).
         Purely observational: results are identical at every level.
+    backend:
+        BDD node-store/kernel implementation: ``"dict"`` (tuple-keyed
+        Python dicts, the default) or ``"array"`` (struct-of-arrays flat
+        integer buffers with open-addressed tables).  A storage choice
+        only — verdicts, coverage numbers, traces, and even the engine
+        work counters are identical across backends.
     """
 
     trans: str = TRANS_PARTITIONED
@@ -99,6 +107,7 @@ class EngineConfig:
     cache_threshold: Optional[int] = None
     auto_reorder: bool = False
     telemetry: str = "off"
+    backend: str = BACKEND_DICT
 
     def __post_init__(self) -> None:
         self.validate()
@@ -127,6 +136,11 @@ class EngineConfig:
             raise ConfigError(
                 f"unknown telemetry level {self.telemetry!r} "
                 f"(valid levels: {', '.join(TELEMETRY_LEVELS)})"
+            )
+        if self.backend not in BACKEND_NAMES:
+            raise ConfigError(
+                f"unknown BDD backend {self.backend!r} "
+                f"(valid backends: {', '.join(BACKEND_NAMES)})"
             )
         return self
 
@@ -219,6 +233,15 @@ class EngineConfig:
                 "results are identical at every level"
             ),
         )
+        parser.add_argument(
+            "--backend", choices=list(BACKEND_NAMES), default=BACKEND_DICT,
+            help=(
+                "BDD node-store/kernel implementation: 'dict' (tuple-keyed "
+                "Python dicts, the default) or 'array' (struct-of-arrays "
+                "flat integer buffers); a storage choice only — results "
+                "and work counters are identical across backends"
+            ),
+        )
 
     @classmethod
     def from_args(cls, args) -> "EngineConfig":
@@ -230,6 +253,7 @@ class EngineConfig:
             cache_threshold=getattr(args, "cache_threshold", None),
             auto_reorder=bool(getattr(args, "auto_reorder", False)),
             telemetry=getattr(args, "telemetry", TELEMETRY_OFF),
+            backend=getattr(args, "backend", BACKEND_DICT),
         )
 
     def to_cli_args(self) -> List[str]:
@@ -252,6 +276,8 @@ class EngineConfig:
             args += ["--auto-reorder"]
         if self.telemetry != TELEMETRY_OFF:
             args += ["--telemetry", self.telemetry]
+        if self.backend != BACKEND_DICT:
+            args += ["--backend", self.backend]
         return args
 
     # ------------------------------------------------------------------
@@ -268,6 +294,7 @@ class EngineConfig:
             "cache_threshold": self.cache_threshold,
             "auto_reorder": self.auto_reorder,
             "telemetry": self.telemetry,
+            "backend": self.backend,
         }
 
     @classmethod

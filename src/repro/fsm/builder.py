@@ -213,7 +213,7 @@ class CircuitBuilder:
         if policy is None:
             policy = config.policy()
         if manager is None:
-            manager = BDDManager(policy=policy)
+            manager = BDDManager(policy=policy, backend=config.backend)
         elif policy is not None:
             manager.set_policy(policy)
         state_vars = self._latches + self._inputs

@@ -38,6 +38,7 @@ from .model import (
     random_module,
 )
 from .oracle import (
+    AXIS_BACKEND,
     AXIS_CONFIGS,
     AXIS_EXPLICIT,
     AXIS_GC,
@@ -65,6 +66,7 @@ __all__ = [
     # oracle
     "AXIS_MONO",
     "AXIS_GC",
+    "AXIS_BACKEND",
     "AXIS_EXPLICIT",
     "AXIS_ROUNDTRIP",
     "AXIS_CONFIGS",

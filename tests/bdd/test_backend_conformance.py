@@ -1,0 +1,424 @@
+"""Backend conformance: every node store obeys the same kernel contract.
+
+The :class:`~repro.bdd.backends.base.BDDBackend` interface has exactly one
+specification — the ROBDD algebra plus the engine's memoisation contract —
+and this suite is that specification as code, run against every registered
+backend via the ``backend`` fixture (``tests/conftest.py``):
+
+* **Node invariants** — ordered, reduced, hash-consed: children live on
+  strictly deeper levels, no redundant tests (``low != high``), one node
+  id per (level, low, high) triple, canonical terminals.
+* **Unique-table canonicity** — semantically equal functions built along
+  different syntactic routes land on the *same* node id, so equality is
+  id comparison; negation is an involution on ids.
+* **Op-cache hit semantics** — repeating an operation hits the cache; a
+  collection that frees nothing must *keep* the caches; one that frees
+  must drop them.  Both shipped backends implement exact (never lossy)
+  memoisation, so their hit/miss counters must agree run for run.
+* **Counting and enumeration** — ``satcount`` / ``pick_sat`` /
+  ``iter_cubes`` / ``iter_sat`` against brute-force truth tables, with
+  the enumeration *order* pinned across backends (trace text depends
+  on it).
+* **Quantification** — ``exist`` / ``forall`` / ``and_exists`` /
+  ``and_exists_chain`` / ``restrict`` / ``compose`` against a
+  brute-force oracle, including the fused relational-product identity
+  ``and_exists(f, g, V) == exists(f & g, V)``.
+
+Deterministic seeded generation (no hypothesis): the point is identical
+coverage on every backend, so the scenario set must not vary per run.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BDDManager, Function, ResourcePolicy
+from repro.bdd.backends import BACKEND_NAMES, FALSE, TRUE, create_backend
+from repro.bdd.backends.base import TERMINAL_LEVEL
+
+VARS = ["a", "b", "c", "d", "e"]
+
+_OPS = ("and", "or", "xor", "implies", "iff")
+
+
+def _random_expr(rng, depth):
+    """A nested-tuple expression tree, the idiom of ``test_properties``."""
+    if depth == 0 or rng.random() < 0.2:
+        if rng.random() < 0.15:
+            return ("const", rng.random() < 0.5)
+        return ("var", rng.choice(VARS))
+    if rng.random() < 0.25:
+        return ("not", _random_expr(rng, depth - 1))
+    op = rng.choice(_OPS)
+    return (op, _random_expr(rng, depth - 1), _random_expr(rng, depth - 1))
+
+
+def _expr_pool(seed, count, depth=4):
+    rng = random.Random(seed)
+    return [_random_expr(rng, depth) for _ in range(count)]
+
+
+def _build(mgr, expr):
+    tag = expr[0]
+    if tag == "var":
+        return Function.var(mgr, expr[1])
+    if tag == "const":
+        return Function.true(mgr) if expr[1] else Function.false(mgr)
+    if tag == "not":
+        return ~_build(mgr, expr[1])
+    lhs = _build(mgr, expr[1])
+    rhs = _build(mgr, expr[2])
+    if tag == "and":
+        return lhs & rhs
+    if tag == "or":
+        return lhs | rhs
+    if tag == "xor":
+        return lhs ^ rhs
+    if tag == "implies":
+        return lhs.implies(rhs)
+    return lhs.iff(rhs)
+
+
+def _eval(expr, env):
+    tag = expr[0]
+    if tag == "var":
+        return env[expr[1]]
+    if tag == "const":
+        return expr[1]
+    if tag == "not":
+        return not _eval(expr[1], env)
+    lhs = _eval(expr[1], env)
+    rhs = _eval(expr[2], env)
+    return {
+        "and": lhs and rhs,
+        "or": lhs or rhs,
+        "xor": lhs != rhs,
+        "implies": (not lhs) or rhs,
+        "iff": lhs == rhs,
+    }[tag]
+
+
+def _all_envs():
+    for bits in itertools.product([False, True], repeat=len(VARS)):
+        yield dict(zip(VARS, bits))
+
+
+def _manager(backend):
+    return BDDManager(VARS, policy=ResourcePolicy.disabled(), backend=backend)
+
+
+def _id_envs(mgr):
+    ids = [mgr.var_id(v) for v in VARS]
+    return [
+        dict(zip(ids, bits))
+        for bits in itertools.product([False, True], repeat=len(ids))
+    ]
+
+
+# ----------------------------------------------------------------------
+# Node / complement invariants
+# ----------------------------------------------------------------------
+
+
+class TestNodeInvariants:
+    def test_terminals_are_canonical(self, backend):
+        b = create_backend(backend)
+        assert (FALSE, TRUE) == (0, 1)
+        assert b.level_of(FALSE) == TERMINAL_LEVEL
+        assert b.level_of(TRUE) == TERMINAL_LEVEL
+        assert b.node_count() == 2
+
+    def test_reachable_nodes_are_ordered_and_reduced(self, backend):
+        mgr = _manager(backend)
+        roots = [_build(mgr, e).node for e in _expr_pool(101, 30)]
+        b = mgr.backend
+        seen = set()
+        stack = [r for r in roots if r not in (FALSE, TRUE)]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            level, low, high = b.level_of(node), b.low_of(node), b.high_of(node)
+            assert level < TERMINAL_LEVEL
+            assert low != high, "redundant test survived mk()"
+            for child in (low, high):
+                assert b.level_of(child) > level, "child above parent"
+                if child not in (FALSE, TRUE):
+                    stack.append(child)
+        # Hash-consing: every reachable triple maps back to its node id.
+        for node in seen:
+            assert b.find(
+                b.level_of(node), b.low_of(node), b.high_of(node)
+            ) == node
+
+    def test_mk_collapses_redundant_and_dedupes(self, backend):
+        b = create_backend(backend)
+        assert b.mk(3, TRUE, TRUE) == TRUE
+        assert b.mk(3, FALSE, FALSE) == FALSE
+        n1 = b.mk(3, FALSE, TRUE)
+        n2 = b.mk(3, FALSE, TRUE)
+        assert n1 == n2
+        assert b.find(3, FALSE, TRUE) == n1
+        assert b.find(3, TRUE, FALSE) == -1 or b.find(3, TRUE, FALSE) != n1
+
+    def test_complement_laws_hold_on_ids(self, backend):
+        mgr = _manager(backend)
+        for expr in _expr_pool(202, 20):
+            f = _build(mgr, expr)
+            g = ~f
+            assert (~g).node == f.node, "negation must be an involution"
+            assert (f & g).is_false()
+            assert (f | g).is_true()
+            if not f.is_true() and not f.is_false():
+                assert g.node != f.node
+
+
+# ----------------------------------------------------------------------
+# Unique-table canonicity
+# ----------------------------------------------------------------------
+
+
+class TestCanonicity:
+    def test_equal_functions_share_node_ids(self, backend):
+        """Different syntactic routes to one function: one node id."""
+        mgr = _manager(backend)
+        a, b_, c = (Function.var(mgr, v) for v in "abc")
+        assert (a & b_).node == (~(~a | ~b_)).node  # De Morgan
+        assert (a ^ b_).node == ((a | b_) & ~(a & b_)).node
+        assert (a.implies(b_)).node == (~a | b_).node
+        assert (a.iff(b_)).node == (~(a ^ b_)).node
+        assert (a.ite(b_, c)).node == ((a & b_) | (~a & c)).node
+
+    def test_pool_truth_table_equality_is_id_equality(self, backend):
+        mgr = _manager(backend)
+        envs = list(_all_envs())
+        pool = [(e, _build(mgr, e)) for e in _expr_pool(303, 25)]
+        tables = {}
+        for expr, fn in pool:
+            table = tuple(_eval(expr, env) for env in envs)
+            tables.setdefault(table, set()).add(fn.node)
+        for table, nodes in tables.items():
+            assert len(nodes) == 1, "one truth table, multiple node ids"
+
+    def test_node_count_tracks_unique_table(self, backend):
+        b = create_backend(backend)
+        assert b.node_count() == b.unique_size() + 2  # terminals
+        b.mk(0, FALSE, TRUE)
+        b.mk(1, FALSE, TRUE)
+        assert b.node_count() == b.unique_size() + 2
+
+
+# ----------------------------------------------------------------------
+# Op-cache hit semantics
+# ----------------------------------------------------------------------
+
+
+class TestOpCacheSemantics:
+    def test_repeat_operation_hits_cache(self, backend):
+        b = create_backend(backend)
+        x = b.mk(0, FALSE, TRUE)
+        y = b.mk(1, FALSE, TRUE)
+        b.apply_and(x, y)
+        hits_before = b.counters()["and_hits"]
+        assert b.apply_and(x, y) == b.apply_and(x, y)
+        assert b.counters()["and_hits"] > hits_before
+
+    def test_clear_caches_forgets(self, backend):
+        b = create_backend(backend)
+        x = b.mk(0, FALSE, TRUE)
+        y = b.mk(1, FALSE, TRUE)
+        b.apply_and(x, y)
+        b.clear_caches()
+        assert b.cache_entry_count() == 0
+        misses_before = b.counters()["and_misses"]
+        b.apply_and(x, y)
+        assert b.counters()["and_misses"] > misses_before
+
+    def test_collect_that_frees_nothing_keeps_caches(self, backend):
+        mgr = _manager(backend)
+        a, b_ = Function.var(mgr, "a"), Function.var(mgr, "b")
+        f = a & b_
+        entries = mgr.backend.cache_entry_count()
+        assert entries > 0
+        assert mgr.collect_garbage() == 0
+        assert mgr.backend.cache_entry_count() == entries
+        hits_before = mgr.backend.counters()["and_hits"]
+        assert (a & b_).node == f.node
+        assert mgr.backend.counters()["and_hits"] > hits_before
+
+    def test_collect_that_frees_drops_caches(self, backend):
+        mgr = _manager(backend)
+        a, b_ = Function.var(mgr, "a"), Function.var(mgr, "b")
+        f = a & b_
+        del f
+        assert mgr.collect_garbage() > 0
+        assert mgr.backend.cache_entry_count() == 0
+
+    def test_counter_parity_across_backends(self):
+        """Same op sequence, same hit/miss/probe counters on every
+        backend: both implement exact memoisation, so the *work* profile
+        — not just the answers — is backend-invariant.  (This is what
+        lets ``repro bench`` gate both backends on one expectation.)"""
+        pool = _expr_pool(404, 40)
+
+        def profile(name):
+            mgr = _manager(name)
+            fns = [_build(mgr, e) for e in pool]
+            ids = [mgr.var_id(v) for v in VARS]
+            acc = Function.true(mgr)
+            for fn in fns[:10]:
+                acc = acc.and_exists(fn, ids[:2])
+            for fn in fns[10:20]:
+                fn.exist(ids[1:3])
+                fn.forall(ids[3:])
+                fn.restrict(ids[0], True)
+            counters = dict(mgr.backend.counters())
+            counters.pop("created_nodes", None)  # id-space detail
+            return counters
+
+        profiles = {name: profile(name) for name in BACKEND_NAMES}
+        reference = profiles["dict"]
+        for name, counters in profiles.items():
+            assert counters == reference, f"backend {name!r} work diverged"
+
+
+# ----------------------------------------------------------------------
+# Counting and enumeration
+# ----------------------------------------------------------------------
+
+
+class TestCountingAndEnumeration:
+    def test_satcount_matches_brute_force(self, backend):
+        mgr = _manager(backend)
+        ids = [mgr.var_id(v) for v in VARS]
+        envs = list(_all_envs())
+        for expr in _expr_pool(505, 25):
+            fn = _build(mgr, expr)
+            expected = sum(1 for env in envs if _eval(expr, env))
+            assert fn.satcount(ids) == expected
+
+    def test_pick_sat_satisfies(self, backend):
+        mgr = _manager(backend)
+        ids = [mgr.var_id(v) for v in VARS]
+        for expr in _expr_pool(606, 25):
+            fn = _build(mgr, expr)
+            picked = fn.pick_sat(ids)
+            if fn.is_false():
+                assert picked is None
+            else:
+                assert picked is not None
+                assert fn.evaluate(picked)
+
+    def test_iter_cubes_partitions_the_sat_set(self, backend):
+        mgr = _manager(backend)
+        envs = _id_envs(mgr)
+        for expr in _expr_pool(707, 15):
+            fn = _build(mgr, expr)
+            cubes = list(fn.iter_cubes())
+            for env in envs:
+                matching = [
+                    c for c in cubes
+                    if all(env[v] == val for v, val in c.items())
+                ]
+                if fn.evaluate(env):
+                    assert len(matching) == 1, "cubes must partition"
+                else:
+                    assert not matching
+
+    def test_iter_sat_matches_satcount_and_order_is_canonical(self, backend):
+        """Enumeration yields exactly satcount assignments, and the order
+        matches the dict backend's (the reporting layer's trace text is
+        enumeration-order-sensitive)."""
+        mgr = _manager(backend)
+        ref = _manager("dict")
+        ids = [mgr.var_id(v) for v in VARS]
+        for expr in _expr_pool(808, 10):
+            fn = _build(mgr, expr)
+            sats = list(fn.iter_sat(ids))
+            assert len(sats) == fn.satcount(ids)
+            assert len(sats) == len(
+                set(tuple(sorted(s.items())) for s in sats)
+            )
+            ref_fn = _build(ref, expr)
+            assert sats == list(ref_fn.iter_sat(ids))
+            assert list(fn.iter_cubes()) == list(ref_fn.iter_cubes())
+
+
+# ----------------------------------------------------------------------
+# Quantification vs brute force
+# ----------------------------------------------------------------------
+
+
+class TestQuantification:
+    def _brute_quant(self, expr, env, names, exists):
+        combiner = any if exists else all
+        return combiner(
+            _eval(expr, {**env, **dict(zip(names, bits))})
+            for bits in itertools.product([False, True], repeat=len(names))
+        )
+
+    @pytest.mark.parametrize("exists", [True, False], ids=["exists", "forall"])
+    def test_quantifiers_match_brute_force(self, backend, exists):
+        mgr = _manager(backend)
+        rng = random.Random(909)
+        envs = list(_all_envs())
+        for expr in _expr_pool(909, 20):
+            names = rng.sample(VARS, rng.randint(1, 3))
+            ids = [mgr.var_id(v) for v in names]
+            fn = _build(mgr, expr)
+            quantified = fn.exist(ids) if exists else fn.forall(ids)
+            for env in envs:
+                expected = self._brute_quant(expr, env, names, exists)
+                assert quantified.evaluate(
+                    {mgr.var_id(v): env[v] for v in VARS}
+                ) == expected
+
+    def test_and_exists_is_fused_relational_product(self, backend):
+        mgr = _manager(backend)
+        rng = random.Random(111)
+        pool = _expr_pool(111, 30)
+        for i in range(0, len(pool) - 1, 2):
+            f = _build(mgr, pool[i])
+            g = _build(mgr, pool[i + 1])
+            names = rng.sample(VARS, rng.randint(1, 3))
+            ids = [mgr.var_id(v) for v in names]
+            assert f.and_exists(g, ids).node == (f & g).exist(ids).node
+
+    def test_and_exists_chain_matches_unfused(self, backend):
+        mgr = _manager(backend)
+        rng = random.Random(222)
+        pool = _expr_pool(222, 24)
+        for i in range(0, len(pool) - 2, 3):
+            fns = [_build(mgr, pool[i + j]) for j in range(3)]
+            names = rng.sample(VARS, rng.randint(1, 4))
+            ids = [mgr.var_id(v) for v in names]
+            # All quantification scheduled at the last conjunct — always a
+            # legal schedule (no variable dies before its last mention).
+            chained = fns[0].and_exists_chain([(fns[1], []), (fns[2], ids)])
+            conj = fns[0] & fns[1] & fns[2]
+            assert chained.node == conj.exist(ids).node
+
+    def test_restrict_and_compose_match_brute_force(self, backend):
+        mgr = _manager(backend)
+        rng = random.Random(333)
+        pool = _expr_pool(333, 20)
+        envs = list(_all_envs())
+        for i in range(0, len(pool) - 1, 2):
+            expr, sub_expr = pool[i], pool[i + 1]
+            fn = _build(mgr, expr)
+            name = rng.choice(VARS)
+            vid = mgr.var_id(name)
+            for value in (False, True):
+                restricted = fn.restrict(vid, value)
+                for env in envs:
+                    assert restricted.evaluate(
+                        {mgr.var_id(v): env[v] for v in VARS}
+                    ) == _eval(expr, {**env, name: value})
+            composed = fn.compose({vid: _build(mgr, sub_expr)})
+            for env in envs:
+                expected = _eval(expr, {**env, name: _eval(sub_expr, env)})
+                assert composed.evaluate(
+                    {mgr.var_id(v): env[v] for v in VARS}
+                ) == expected

@@ -131,9 +131,10 @@ class TestCacheEviction:
             mgr.compose(f, mgr.var_id("b"), mgr.var("c"))
         # Stale generations were purged: the cache holds at most the last
         # `compose_generations` substitutions' entries.
-        assert len(mgr._compose_cache) <= 3 * mgr.node_count()
-        assert mgr._compose_token == 10
-        assert mgr._compose_purged_token >= 10 - 3
+        backend = mgr.backend
+        assert len(backend._compose_cache) <= 3 * mgr.node_count()
+        assert backend._compose_token == 10
+        assert backend._compose_purged_token >= 10 - 3
 
     def test_compose_still_correct_across_purges(self):
         mgr = BDDManager(
@@ -280,7 +281,7 @@ class TestSiftUsesLiveSizes:
                 mgr,
                 mgr.apply_xor(mgr.var(f"x{i}"), mgr.var(f"y{(i + 1) % 3}")),
             )
-        table_size_before = len(mgr._unique)
+        table_size_before = mgr.backend.unique_size()
         live_before = mgr.live_node_count()
         assert table_size_before > live_before - 2  # garbage present
         improvement = sift(mgr)

@@ -1,0 +1,39 @@
+"""Shared fixtures: the ``backend`` axis for backend-generic suites.
+
+Any test that takes a ``backend`` argument runs once per BDD backend
+(``dict`` and ``array`` by default).  ``pytest --backend array`` (or a
+comma-separated list) narrows the axis — the CI matrix uses this to give
+each backend its own tier-1 job without doubling every suite in one run.
+"""
+
+import pytest
+
+from repro.bdd import BACKEND_NAMES
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend",
+        default="all",
+        help=(
+            "comma-separated BDD backends for backend-parametrized tests "
+            f"(default: all = {','.join(BACKEND_NAMES)})"
+        ),
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "backend" in metafunc.fixturenames:
+        option = metafunc.config.getoption("--backend")
+        if option == "all":
+            names = list(BACKEND_NAMES)
+        else:
+            names = [b for b in option.split(",") if b]
+            unknown = sorted(set(names) - set(BACKEND_NAMES))
+            if unknown or not names:
+                raise pytest.UsageError(
+                    f"--backend: unknown BDD backend(s) "
+                    f"{', '.join(unknown) or '<none>'} "
+                    f"(known: {', '.join(BACKEND_NAMES)})"
+                )
+        metafunc.parametrize("backend", names)

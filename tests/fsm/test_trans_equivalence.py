@@ -8,6 +8,11 @@ model.  BDD canonicity makes this exact — both modes compute the same
 state sets, hence the same nodes, hence the same enumeration order in
 trace generation — so the assertions below compare rendered text, not
 just counts.
+
+Every test takes the ``backend`` fixture (``tests/conftest.py``): the
+mono/partitioned guarantee must hold on every node store, and because
+trace text is enumeration-order-sensitive, this doubles as a check that
+the array backend's cube enumeration matches the dict backend's exactly.
 """
 
 from pathlib import Path
@@ -21,8 +26,13 @@ from repro.lang import elaborate, load_module
 from repro.mc import ModelChecker
 from repro.suite import BUILTIN_TARGETS, build_builtin
 
-MONO = EngineConfig(trans="mono")
-PARTITIONED = EngineConfig(trans="partitioned")
+def _mono(backend):
+    return EngineConfig(trans="mono", backend=backend)
+
+
+def _partitioned(backend):
+    return EngineConfig(trans="partitioned", backend=backend)
+
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
@@ -61,9 +71,9 @@ def _estimate(fsm, props, observed, dont_care):
 
 
 @pytest.mark.parametrize("name,stage", _all_builtin_cases())
-def test_builtin_targets_mode_equivalent(name, stage):
-    mono = build_builtin(name, stage=stage, config=MONO)
-    part = build_builtin(name, stage=stage, config=PARTITIONED)
+def test_builtin_targets_mode_equivalent(name, stage, backend):
+    mono = build_builtin(name, stage=stage, config=_mono(backend))
+    part = build_builtin(name, stage=stage, config=_partitioned(backend))
     fsm_m, props_m, obs_m, dc_m = mono
     fsm_p, props_p, obs_p, dc_p = part
     assert fsm_m.trans_mode == "mono"
@@ -84,10 +94,10 @@ def test_builtin_targets_mode_equivalent(name, stage):
 @pytest.mark.parametrize(
     "path", sorted(EXAMPLES.glob("*.rml")), ids=lambda p: p.stem
 )
-def test_rml_examples_mode_equivalent(path):
+def test_rml_examples_mode_equivalent(path, backend):
     module = load_module(path)
-    mono = elaborate(module, config=MONO)
-    part = elaborate(module, config=PARTITIONED)
+    mono = elaborate(module, config=_mono(backend))
+    part = elaborate(module, config=_partitioned(backend))
     assert mono.fsm.trans_mode == "mono"
     assert part.fsm.trans_mode == "partitioned"
     assert mono.fsm.count_states(mono.fsm.reachable()) == part.fsm.count_states(
@@ -98,7 +108,7 @@ def test_rml_examples_mode_equivalent(path):
     ) == _estimate(part.fsm, part.specs, part.observed, part.dont_care)
 
 
-def test_counterexample_traces_mode_equivalent():
+def test_counterexample_traces_mode_equivalent(backend):
     """Failing properties produce the same counterexample trace in both
     modes (the buggy priority buffer from the paper's narrative; the
     augmented suite is the one that catches the planted bug)."""
@@ -106,7 +116,7 @@ def test_counterexample_traces_mode_equivalent():
     for trans in ("mono", "partitioned"):
         fsm, props, _obs, _dc = build_builtin(
             "buffer-lo", stage="augmented", buggy=True,
-            config=EngineConfig(trans=trans),
+            config=EngineConfig(trans=trans, backend=backend),
         )
         checker = ModelChecker(fsm)
         traces = []
@@ -122,11 +132,11 @@ def test_counterexample_traces_mode_equivalent():
     assert any(results["mono"][1])
 
 
-def test_lazy_mono_transition_matches_eager():
+def test_lazy_mono_transition_matches_eager(backend):
     """Accessing ``transition`` on a partitioned FSM conjoins the same
     relation the mono build produced eagerly."""
-    fsm_m, _, _, _ = build_builtin("queue-wrap", config=MONO)
-    fsm_p, _, _, _ = build_builtin("queue-wrap", config=PARTITIONED)
+    fsm_m, _, _, _ = build_builtin("queue-wrap", config=_mono(backend))
+    fsm_p, _, _, _ = build_builtin("queue-wrap", config=_partitioned(backend))
     # Different managers — compare via satcount over all variables.
     all_vars = list(range(fsm_m.manager.num_vars))
     assert fsm_m.transition.satcount(all_vars) == fsm_p.transition.satcount(
@@ -143,8 +153,8 @@ def test_lazy_mono_transition_matches_eager():
 
 @pytest.mark.parametrize("trans", ["mono", "partitioned"])
 @pytest.mark.parametrize("name,stage", _all_builtin_cases())
-def test_facade_matches_hand_wired_pipeline(name, stage, trans):
-    config = EngineConfig(trans=trans)
+def test_facade_matches_hand_wired_pipeline(name, stage, trans, backend):
+    config = EngineConfig(trans=trans, backend=backend)
     manual = _estimate(*build_builtin(name, stage=stage, config=config))
     analysis = Analysis.builtin(name, stage=stage, config=config)
     if not analysis.holds():
@@ -168,8 +178,8 @@ def test_facade_matches_hand_wired_pipeline(name, stage, trans):
 @pytest.mark.parametrize(
     "path", sorted(EXAMPLES.glob("*.rml")), ids=lambda p: p.stem
 )
-def test_facade_matches_hand_wired_rml(path, trans):
-    config = EngineConfig(trans=trans)
+def test_facade_matches_hand_wired_rml(path, trans, backend):
+    config = EngineConfig(trans=trans, backend=backend)
     model = elaborate(load_module(path), config=config)
     manual = _estimate(model.fsm, model.specs, model.observed, model.dont_care)
     analysis = Analysis.from_rml(path, config=config)

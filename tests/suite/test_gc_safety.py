@@ -22,6 +22,10 @@ prematurely recycled slot shows up here as a diff.  The original
 WeakSet-based root registry failed exactly these tests: structural
 ``Function`` equality collapsed equal wrappers into one registry entry,
 so dropping one unrooted the node its live twin still denoted.
+
+Every test takes the ``backend`` fixture (``tests/conftest.py``) and runs
+once per BDD backend: each node store has its own mark/sweep/free-list
+machinery, so GC safety must be proven per backend, not once.
 """
 
 import itertools
@@ -39,9 +43,11 @@ from repro.suite import BUILTIN_TARGETS, build_builtin
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
-#: Forced GC at every wrapper-creation safe point (small models only) —
-#: the config form of :meth:`ResourcePolicy.aggressive`.
-AGGRESSIVE = EngineConfig(gc_threshold=1, gc_growth=1.0)
+
+def _aggressive(backend):
+    """Forced GC at every wrapper-creation safe point (small models only)
+    — the config form of :meth:`ResourcePolicy.aggressive`."""
+    return EngineConfig(gc_threshold=1, gc_growth=1.0, backend=backend)
 
 
 def _all_builtin_cases():
@@ -121,19 +127,21 @@ def _forced_gc_report(fsm, props, observed, dont_care):
 
 
 @pytest.mark.parametrize("name,stage", _all_builtin_cases())
-def test_builtin_reports_identical_under_forced_gc(name, stage):
-    default = _default_report(*build_builtin(name, stage=stage))
-    forced = _forced_gc_report(*build_builtin(name, stage=stage))
+def test_builtin_reports_identical_under_forced_gc(name, stage, backend):
+    config = EngineConfig(backend=backend)
+    default = _default_report(*build_builtin(name, stage=stage, config=config))
+    forced = _forced_gc_report(*build_builtin(name, stage=stage, config=config))
     assert forced == default
 
 
 @pytest.mark.parametrize(
     "path", sorted(EXAMPLES.glob("*.rml")), ids=lambda p: p.stem
 )
-def test_rml_reports_identical_under_forced_gc(path):
+def test_rml_reports_identical_under_forced_gc(path, backend):
     module = load_module(path)
-    default = elaborate(module)
-    forced = elaborate(module)
+    config = EngineConfig(backend=backend)
+    default = elaborate(module, config=config)
+    forced = elaborate(module, config=config)
     assert _forced_gc_report(
         forced.fsm, forced.specs, forced.observed, forced.dont_care
     ) == _default_report(
@@ -142,15 +150,19 @@ def test_rml_reports_identical_under_forced_gc(path):
 
 
 @pytest.mark.parametrize("name,stage", _all_builtin_cases())
-def test_mono_vs_partitioned_identical_under_forced_gc(name, stage):
+def test_mono_vs_partitioned_identical_under_forced_gc(name, stage, backend):
     """The mono/partitioned equivalence guarantee survives the densest GC
     schedule (the tentpole's acceptance criterion)."""
     mono = _forced_gc_report(
-        *build_builtin(name, stage=stage, config=EngineConfig(trans="mono"))
+        *build_builtin(
+            name, stage=stage,
+            config=EngineConfig(trans="mono", backend=backend),
+        )
     )
     part = _forced_gc_report(
         *build_builtin(
-            name, stage=stage, config=EngineConfig(trans="partitioned")
+            name, stage=stage,
+            config=EngineConfig(trans="partitioned", backend=backend),
         )
     )
     assert mono == part
@@ -160,10 +172,16 @@ class TestWrapperGranularity:
     """GC at every single wrapper-creation safe point, everywhere."""
 
     @pytest.mark.parametrize("name,stage", _all_builtin_cases())
-    def test_builtin_identical_under_aggressive_policy(self, name, stage):
-        default = _default_report(*build_builtin(name, stage=stage))
+    def test_builtin_identical_under_aggressive_policy(
+        self, name, stage, backend
+    ):
+        default = _default_report(
+            *build_builtin(
+                name, stage=stage, config=EngineConfig(backend=backend)
+            )
+        )
         fsm, props, obs, dc = build_builtin(
-            name, stage=stage, config=AGGRESSIVE
+            name, stage=stage, config=_aggressive(backend)
         )
         assert _default_report(fsm, props, obs, dc) == default
         assert fsm.manager.gc_runs > 100  # it really collected
@@ -171,10 +189,10 @@ class TestWrapperGranularity:
     @pytest.mark.parametrize(
         "path", sorted(EXAMPLES.glob("*.rml")), ids=lambda p: p.stem
     )
-    def test_rml_identical_under_aggressive_policy(self, path):
+    def test_rml_identical_under_aggressive_policy(self, path, backend):
         module = load_module(path)
-        default = elaborate(module)
-        forced = elaborate(module, config=AGGRESSIVE)
+        default = elaborate(module, config=EngineConfig(backend=backend))
+        forced = elaborate(module, config=_aggressive(backend))
         assert _default_report(
             forced.fsm, forced.specs, forced.observed, forced.dont_care
         ) == _default_report(
@@ -183,10 +201,12 @@ class TestWrapperGranularity:
         assert forced.fsm.manager.gc_runs > 100
 
 
-def test_live_wrappers_denote_same_functions_across_gc():
+def test_live_wrappers_denote_same_functions_across_gc(backend):
     """Function wrappers survive any number of collections unchanged."""
     names = [f"b{i}" for i in range(6)]
-    mgr = BDDManager(names, policy=ResourcePolicy.disabled())
+    mgr = BDDManager(
+        names, policy=ResourcePolicy.disabled(), backend=backend
+    )
     funcs = []
     # A spread of shapes: literals, conjunctions, parities, implications.
     for i in range(6):

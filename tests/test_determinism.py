@@ -9,6 +9,7 @@ different hash seeds and diff the outputs (timing fields normalised).
 
 import json
 import os
+import re
 import subprocess
 import sys
 from pathlib import Path
@@ -34,6 +35,12 @@ def _run(args, hash_seed, cwd=ROOT):
 TIMING_KEYS = ("seconds", "gc_seconds", "t", "ts", "dur", "wall_seconds")
 
 
+def _normalise_stdout(text):
+    """Blank the wall-clock digits in cost lines ("25 - 0.00s") — they
+    are load noise, not hash-order signal."""
+    return re.sub(r"(\d+k?) - \d+\.\d+s", r"\1 - Xs", text)
+
+
 def _strip_timings(data):
     if isinstance(data, dict):
         return {
@@ -47,23 +54,29 @@ def _strip_timings(data):
 
 
 class TestHashSeedInvariance:
-    def test_target_report_with_traces_is_stable(self):
-        outs = []
-        for hs in HASH_SEEDS:
-            proc = _run(["counter", "--stage", "partial", "--traces", "2"], hs)
-            assert proc.returncode == 0, proc.stderr
-            outs.append(proc.stdout)
-        assert outs[0] == outs[1]
-        assert "trace to uncovered state" in outs[0]
-
-    def test_rml_run_with_traces_is_stable(self):
+    def test_target_report_with_traces_is_stable(self, backend):
         outs = []
         for hs in HASH_SEEDS:
             proc = _run(
-                ["run", "examples/arbiter.rml", "--traces", "2"], hs
+                ["counter", "--stage", "partial", "--traces", "2",
+                 "--backend", backend],
+                hs,
             )
             assert proc.returncode == 0, proc.stderr
-            outs.append(proc.stdout)
+            outs.append(_normalise_stdout(proc.stdout))
+        assert outs[0] == outs[1]
+        assert "trace to uncovered state" in outs[0]
+
+    def test_rml_run_with_traces_is_stable(self, backend):
+        outs = []
+        for hs in HASH_SEEDS:
+            proc = _run(
+                ["run", "examples/arbiter.rml", "--traces", "2",
+                 "--backend", backend],
+                hs,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs.append(_normalise_stdout(proc.stdout))
         assert outs[0] == outs[1]
 
     def test_suite_json_is_stable(self, tmp_path):
@@ -134,6 +147,22 @@ class TestHashSeedInvariance:
         )
         assert base.returncode == spans.returncode == 0
         assert normalise(base.stdout) == normalise(spans.stdout)
+
+    def test_cli_output_identical_across_backends(self):
+        """The two BDD backends produce byte-identical CLI reports —
+        including the node counts in the cost line: the backends share
+        memoisation semantics, so even their *work* counters agree.  Only
+        wall-clock digits are normalised."""
+        outs = {}
+        for backend in ("dict", "array"):
+            proc = _run(
+                ["counter", "--stage", "partial", "--traces", "2",
+                 "--backend", backend],
+                "0",
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs[backend] = _normalise_stdout(proc.stdout)
+        assert outs["dict"] == outs["array"]
 
     def test_fuzz_report_is_stable(self, tmp_path):
         reports = []
