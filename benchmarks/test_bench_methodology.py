@@ -9,6 +9,7 @@ Regenerates the progression the paper reports in prose:
 * Circuit 3: output 8 props (hole = hold states) -> +retention -> 100%.
 """
 
+from repro.analysis import Analysis
 from repro.circuits import (
     build_circular_queue,
     build_pipeline,
@@ -21,7 +22,6 @@ from repro.circuits import (
     priority_buffer_lo_hole_property,
     priority_buffer_lo_properties,
 )
-from repro.analysis import Analysis
 from repro.coverage import CoverageEstimator
 from repro.mc import ModelChecker
 

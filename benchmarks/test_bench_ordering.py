@@ -8,7 +8,7 @@ current variables, then all next variables), and shows sifting recovering
 from the blocked order.
 """
 
-from repro.bdd import BDDManager, Function, set_order, sift
+from repro.bdd import set_order, sift
 from repro.circuits import build_circular_queue
 from repro.fsm import NEXT_SUFFIX
 

@@ -22,10 +22,10 @@ import os
 import sys
 import time
 
-from repro.engine import EngineConfig
 from repro.circuits import build_pipeline
 from repro.coverage import CoverageEstimator
 from repro.ctl.parser import parse_ctl
+from repro.engine import EngineConfig
 from repro.mc import ModelChecker, WorkMeter
 
 from .conftest import emit

@@ -20,9 +20,9 @@ would nonetheless distort this particular apples-to-apples shape check
 """
 
 from repro.circuits import build_circular_queue, circular_queue_wrap_properties
-from repro.engine import EngineConfig
 from repro.circuits.circular_queue import circular_queue_wrap_stall_property
 from repro.coverage import CoverageEstimator
+from repro.engine import EngineConfig
 from repro.mc import ModelChecker, WorkMeter
 
 from .conftest import emit

@@ -16,8 +16,8 @@ output     8        74.36     < 100%, every hole a hold state
 =========  ======  =========  =====================================
 """
 
-import pytest
 
+from repro.analysis import Analysis
 from repro.circuits import (
     build_circular_queue,
     build_pipeline,
@@ -29,7 +29,6 @@ from repro.circuits import (
     priority_buffer_hi_properties,
     priority_buffer_lo_properties,
 )
-from repro.analysis import Analysis
 from repro.expr import parse_expr
 from repro.mc import WorkMeter
 

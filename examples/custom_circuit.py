@@ -17,7 +17,7 @@ from repro import (
     mutation_covered,
     parse_ctl,
 )
-from repro.expr import Var, parse_expr
+from repro.expr import parse_expr
 from repro.expr.arith import increment_mod_bits, mux
 
 

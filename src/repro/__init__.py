@@ -15,7 +15,7 @@ Quickstart::
     print(analysis.coverage().summary())
 """
 
-from ._version import __version__
+from ._version import __version__  # noqa: F401  (re-export; __all__ is computed lazily)
 
 
 def _public_names():

@@ -110,6 +110,10 @@ class AnalysisResult:
     #: counters, plus phase spans/events at level ``"spans"``.  ``None``
     #: when telemetry is off — the JSON block is strictly additive.
     metrics: Optional[Dict] = None
+    #: Static-analysis findings (``repro-lint/v1`` document) for analyses
+    #: built from a module AST.  ``None`` for builtin/custom analyses —
+    #: the JSON block is strictly additive, like ``metrics``.
+    lint: Optional[Dict] = None
     #: Deprecated constructor keyword (the former flat ``JobResult.trans``
     #: field); folds into ``config`` with a warning.  Not a field.
     trans: InitVar[Optional[str]] = None
@@ -160,6 +164,8 @@ class AnalysisResult:
         }
         if self.metrics is not None:
             payload["metrics"] = self.metrics
+        if self.lint is not None:
+            payload["lint"] = self.lint
         return payload
 
     def format_line(self) -> str:
@@ -259,6 +265,14 @@ class Analysis:
         )
         self.telemetry.attach(fsm.manager)
         self.fsm.telemetry = self.telemetry
+        #: The parsed module AST for rml-built analyses (set by
+        #: ``_from_module``); ``None`` for builtin/custom circuits, which
+        #: have no source to lint.
+        self.module = None
+        #: The original ``.rml`` source text when construction had it —
+        #: improves lint anchors and enables waiver pragmas.
+        self.source_text: Optional[str] = None
+        self._lint_report = None
         self._checker: Optional[ModelChecker] = None
         self._estimator: Optional[CoverageEstimator] = None
         self._check_results: Optional[List[CheckResult]] = None
@@ -332,12 +346,15 @@ class Analysis:
         with telemetry.span("parse"):
             if _looks_like_path(source):
                 path: Optional[str] = str(source)
+                text: Optional[str] = None
                 module = load_module(source)
             else:
                 path = None
-                module = parse_module(str(source), filename=filename)
+                text = str(source)
+                module = parse_module(text, filename=filename)
         return cls._from_module(
-            module, config, path=path, filename=filename, telemetry=telemetry
+            module, config, path=path, filename=filename,
+            telemetry=telemetry, source_text=text,
         )
 
     @classmethod
@@ -348,6 +365,7 @@ class Analysis:
         path: Optional[str],
         filename: Optional[str] = None,
         telemetry: Optional[Telemetry] = None,
+        source_text: Optional[str] = None,
     ) -> "Analysis":
         """Elaborate and validate a parsed module — the one rml
         construction path (``from_rml`` and suite workers both land
@@ -373,11 +391,14 @@ class Analysis:
                 f"SPEC properties"
             )
         stem = Path(path).stem if path else model.module.name
-        return cls(
+        analysis = cls(
             model.fsm, model.specs, model.observed, model.dont_care,
             config=config, name=f"rml:{stem}", kind=KIND_RML, path=path,
             telemetry=telemetry,
         )
+        analysis.module = module
+        analysis.source_text = source_text
+        return analysis
 
     @classmethod
     def from_fsm(
@@ -417,7 +438,9 @@ class Analysis:
             if job.source is None:
                 raise ValueError(f"rml job {job.name!r} has no source")
             module = parse_module(job.source, filename=job.path)
-            analysis = cls._from_module(module, job.config, path=job.path)
+            analysis = cls._from_module(
+                module, job.config, path=job.path, source_text=job.source
+            )
         else:
             raise ValueError(f"unknown job kind {job.kind!r}")
         analysis.name = job.name
@@ -496,6 +519,32 @@ class Analysis:
         with self.telemetry.span("traces", count=count):
             return format_uncovered_traces(report, count=count)
 
+    def lint(self):
+        """Static-analysis findings for the module this analysis was
+        built from, as a :class:`~repro.lint.LintReport` (memoised).
+
+        Engine-free: runs entirely over the parsed AST, never touching
+        the BDD layer.  Analyses without a module AST (builtin circuits,
+        hand-built FSMs) return an empty report over zero files.
+        """
+        from .lint import LintReport, lint_module
+
+        if self._lint_report is None:
+            if self.module is None:
+                self._lint_report = LintReport(files=[])
+            else:
+                text = self.source_text
+                if text is None and self.path is not None:
+                    try:
+                        text = Path(self.path).read_text()
+                    except OSError:
+                        text = None
+                self._lint_report = lint_module(
+                    self.module, text=text,
+                    filename=self.path or self.module.filename,
+                )
+        return self._lint_report
+
     def result(self) -> AnalysisResult:
         """Run the whole pipeline and return its JSON-safe outcome.
 
@@ -527,6 +576,9 @@ class Analysis:
             peak_live_nodes=stats.peak_live_nodes,
             metrics=(
                 self.telemetry.metrics() if self.telemetry.enabled else None
+            ),
+            lint=(
+                self.lint().to_json() if self.module is not None else None
             ),
         )
         if failing:

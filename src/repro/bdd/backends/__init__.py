@@ -11,8 +11,8 @@ from __future__ import annotations
 from typing import Dict, Tuple, Type
 
 from ...errors import BDDError
-from .base import FALSE, TERMINAL_LEVEL, TRUE, BDDBackend
 from .array_backend import ArrayBackend
+from .base import FALSE, TERMINAL_LEVEL, TRUE, BDDBackend
 from .dict_backend import DictBackend
 
 #: Canonical registry names.

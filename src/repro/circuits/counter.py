@@ -20,9 +20,9 @@ import math
 from typing import List, Optional
 
 from ..bdd import ResourcePolicy
-from ..engine import EngineConfig, _coalesce_trans
 from ..ctl.ast import CtlFormula
 from ..ctl.parser import parse_ctl
+from ..engine import EngineConfig, _coalesce_trans
 from ..expr.arith import increment_mod_bits, mux
 from ..expr.ast import FALSE_EXPR, Var
 from ..fsm.builder import CircuitBuilder

@@ -30,9 +30,9 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..bdd import ResourcePolicy
-from ..engine import EngineConfig, _coalesce_trans
 from ..ctl.ast import CtlFormula
 from ..ctl.parser import parse_ctl
+from ..engine import EngineConfig, _coalesce_trans
 from ..expr.arith import mux
 from ..expr.ast import And, Not, Var
 from ..expr.parser import parse_expr

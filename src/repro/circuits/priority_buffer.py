@@ -37,11 +37,11 @@ import math
 from typing import List, Optional
 
 from ..bdd import ResourcePolicy
-from ..engine import EngineConfig, _coalesce_trans
 from ..ctl.ast import CtlAnd, CtlFormula
 from ..ctl.parser import parse_ctl
+from ..engine import EngineConfig, _coalesce_trans
 from ..expr.arith import add_words_bits, conditional_delta_bits, mux
-from ..expr.ast import And, Expr, FALSE_EXPR, Not
+from ..expr.ast import FALSE_EXPR, And, Expr, Not
 from ..expr.parser import parse_expr
 from ..fsm.builder import CircuitBuilder
 from ..fsm.fsm import FSM

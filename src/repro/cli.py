@@ -24,6 +24,12 @@ configuration and the explicit-state oracle; see ``docs/testing.md``)::
     repro-coverage fuzz --budget 200 --seed 0
     repro-coverage fuzz --budget 300 --seed 7 --jobs 4 --json fuzz.json
 
+Static analysis (engine-free lint over ``.rml`` models and properties;
+see ``docs/linting.md``)::
+
+    repro-coverage lint examples/
+    repro-coverage lint model.rml --json --fail-on error
+
 Benchmarks (the committed perf trajectory; see ``docs/observability.md``)::
 
     repro-coverage bench --list
@@ -253,6 +259,50 @@ def _build_fuzz_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-coverage lint",
+        description=(
+            "static analysis of .rml models and their CTL properties: "
+            "name/width/case errors the elaborator would reject, plus "
+            "cone-of-influence coverage smells (observed signals no "
+            "property can see, latches outside every property's cone, "
+            "constant latches, vacuous antecedents) found before any "
+            "BDD is built; see docs/linting.md for the code catalogue"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help=".rml files, or directories searched recursively for *.rml",
+    )
+    parser.add_argument(
+        "--target", metavar="NAME",
+        help=(
+            "lint a discovered suite job's .rml source by name "
+            "(e.g. 'rml:counter') instead of listing paths"
+        ),
+    )
+    parser.add_argument(
+        "--json", nargs="?", const="-", metavar="FILE",
+        help=(
+            "emit the repro-lint/v1 JSON report (to FILE, or stdout "
+            "when the flag is bare)"
+        ),
+    )
+    parser.add_argument(
+        "--fail-on", choices=["error", "warning"], default="warning",
+        help=(
+            "lowest severity that makes the exit code 1 "
+            "(default: warning; info findings never fail the run)"
+        ),
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="append each code's registered name to text findings",
+    )
+    return parser
+
+
 def _build_bench_parser() -> argparse.ArgumentParser:
     from .obs.bench import DEFAULT_BACKEND, DEFAULT_TOLERANCE
 
@@ -392,6 +442,7 @@ def _main_target(argv: List[str]) -> int:
         print("  run <file.rml>     estimate coverage for a model file")
         print("  suite [dir]        run every registered job (see --help)")
         print("  fuzz               differential fuzzing (see fuzz --help)")
+        print("  lint               static .rml/property analysis (see lint --help)")
         print("  bench              perf baselines + regression gate (see bench --help)")
         return 0
     target = BUILTIN_TARGETS.get(args.target)
@@ -473,6 +524,80 @@ def _main_suite(argv: List[str]) -> int:
         write_report(results, args.json, seconds=elapsed)
         print(f"wrote JSON report to {args.json}")
     return 0 if all(r.status == "ok" for r in results) else 1
+
+
+def _main_lint(argv: List[str]) -> int:
+    args = _build_lint_parser().parse_args(argv)
+    from .lint import (
+        LintReport,
+        Severity,
+        lint_path,
+        lint_source,
+        render_json,
+        render_text,
+    )
+
+    if args.target and args.paths:
+        print(
+            "error: pass either paths or --target, not both",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = LintReport(files=[])
+    if args.target:
+        from .suite import default_jobs
+
+        rml_dir = "examples" if Path("examples").is_dir() else None
+        jobs = {job.name: job for job in default_jobs(rml_dir=rml_dir)}
+        job = jobs.get(args.target) or jobs.get(f"rml:{args.target}")
+        if job is None:
+            print(
+                f"error: unknown target {args.target!r}; known: "
+                f"{', '.join(sorted(jobs))}",
+                file=sys.stderr,
+            )
+            return 2
+        if job.source is None:
+            print(
+                f"error: target {args.target!r} is a builtin circuit "
+                f"built in Python — it has no .rml source to lint",
+                file=sys.stderr,
+            )
+            return 2
+        report = lint_source(job.source, filename=job.path or job.name)
+    else:
+        files: List[Path] = []
+        for raw in args.paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.rml")))
+            elif path.exists():
+                files.append(path)
+            else:
+                print(f"error: no such file: {raw}", file=sys.stderr)
+                return 2
+        if not files:
+            print(
+                "error: nothing to lint (pass .rml files, a directory "
+                "containing them, or --target NAME)",
+                file=sys.stderr,
+            )
+            return 2
+        for path in files:
+            report = report.merge(lint_path(path))
+
+    if args.json is not None:
+        rendered = render_json(report)
+        if args.json == "-":
+            sys.stdout.write(rendered)
+        else:
+            Path(args.json).write_text(rendered)
+            print(f"wrote JSON report to {args.json}")
+    else:
+        sys.stdout.write(render_text(report, verbose=args.verbose))
+    threshold = Severity.from_name(args.fail_on)
+    return 1 if report.at_or_above(threshold) else 0
 
 
 def _main_bench(argv: List[str]) -> int:
@@ -630,6 +755,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _main_suite(argv[1:])
         if argv and argv[0] == "fuzz":
             return _main_fuzz(argv[1:])
+        if argv and argv[0] == "lint":
+            return _main_lint(argv[1:])
         if argv and argv[0] == "bench":
             return _main_bench(argv[1:])
         return _main_target(argv)

@@ -22,6 +22,11 @@ from .ast import (
     AG,
     AU,
     AX,
+    EF,
+    EG,
+    EU,
+    EX,
+    TRUE_ATOM,
     Atom,
     CtlAnd,
     CtlFormula,
@@ -30,11 +35,6 @@ from .ast import (
     CtlNot,
     CtlOr,
     CtlXor,
-    EF,
-    EG,
-    EU,
-    EX,
-    TRUE_ATOM,
     collapse,
 )
 

@@ -19,13 +19,13 @@ from dataclasses import dataclass
 from typing import FrozenSet, Tuple
 
 from ..expr.ast import (
+    TRUE_EXPR,
     And as EAnd,
     Expr,
     Iff as EIff,
     Implies as EImplies,
     Not as ENot,
     Or as EOr,
-    TRUE_EXPR,
     Xor as EXor,
 )
 

@@ -32,6 +32,10 @@ from .ast import (
     AG,
     AU,
     AX,
+    EF,
+    EG,
+    EU,
+    EX,
     Atom,
     CtlAnd,
     CtlFormula,
@@ -40,10 +44,6 @@ from .ast import (
     CtlNot,
     CtlOr,
     CtlXor,
-    EF,
-    EG,
-    EU,
-    EX,
     collapse,
 )
 

@@ -8,6 +8,10 @@ from .ast import (
     AG,
     AU,
     AX,
+    EF,
+    EG,
+    EU,
+    EX,
     Atom,
     CtlAnd,
     CtlFormula,
@@ -16,10 +20,6 @@ from .ast import (
     CtlNot,
     CtlOr,
     CtlXor,
-    EF,
-    EG,
-    EU,
-    EX,
 )
 
 __all__ = ["ctl_to_str"]

@@ -5,16 +5,16 @@ Public surface: the AST node classes, :func:`parse_expr`,
 """
 
 from .ast import (
-    And,
     CMP_OPS,
+    FALSE_EXPR,
+    TRUE_EXPR,
+    And,
     Const,
     Expr,
-    FALSE_EXPR,
     Iff,
     Implies,
     Not,
     Or,
-    TRUE_EXPR,
     Var,
     WordCmp,
     Xor,

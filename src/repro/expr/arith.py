@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from .ast import And, Const, Expr, FALSE_EXPR, Not, Or, TRUE_EXPR, Var, Xor
+from .ast import FALSE_EXPR, TRUE_EXPR, And, Const, Expr, Not, Or, Var, Xor
 from .bitvector import int_to_bits, word_equals_const
 
 __all__ = [

@@ -15,15 +15,15 @@ from typing import Dict, List, Sequence
 
 from ..errors import EvaluationError
 from .ast import (
+    FALSE_EXPR,
+    TRUE_EXPR,
     And,
     Const,
     Expr,
-    FALSE_EXPR,
     Iff,
     Implies,
     Not,
     Or,
-    TRUE_EXPR,
     Var,
     WordCmp,
     Xor,

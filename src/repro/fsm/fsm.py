@@ -29,18 +29,26 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..bdd import BDDManager, Function
 from ..errors import ModelError
-from ..expr.ast import And as EAnd
-from ..expr.ast import Const, Expr, Iff as EIff, Implies as EImplies
-from ..expr.ast import Not as ENot, Or as EOr, Var, WordCmp, Xor as EXor
+from ..expr.ast import (
+    And as EAnd,
+    Const,
+    Expr,
+    Iff as EIff,
+    Implies as EImplies,
+    Not as ENot,
+    Or as EOr,
+    Var,
+    WordCmp,
+    Xor as EXor,
+)
 from ..expr.bitvector import WordTable, resolve_words
+from ..obs.telemetry import NULL_TELEMETRY
 from .partition import (
     TRANS_MONO,
     TRANS_PARTITIONED,
     TransitionPartition,
     validate_trans_mode,
 )
-
-from ..obs.telemetry import NULL_TELEMETRY
 
 __all__ = ["FSM", "NEXT_SUFFIX"]
 

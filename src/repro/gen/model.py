@@ -33,7 +33,23 @@ import random
 from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..ctl.ast import AF, AG, AU, AX, Atom, CtlAnd, CtlFormula, CtlImplies, CtlNot, CtlOr, EF, EG, EU, EX, collapse
+from ..ctl.ast import (
+    AF,
+    AG,
+    AU,
+    AX,
+    EF,
+    EG,
+    EU,
+    EX,
+    Atom,
+    CtlAnd,
+    CtlFormula,
+    CtlImplies,
+    CtlNot,
+    CtlOr,
+    collapse,
+)
 from ..errors import ConfigError
 from ..expr.ast import And, Const, Expr, Iff, Implies, Not, Or, Var, WordCmp, Xor
 from ..fsm.explicit import ExplicitGraph

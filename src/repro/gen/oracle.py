@@ -28,6 +28,13 @@ of them agree *byte for byte* on everything a user can observe:
     The language round trip: printing and re-parsing the module must be
     the identity, and the reprint must reproduce the text — otherwise a
     reproducer file would not denote the failing scenario.
+``lint``
+    The static analyzer (:mod:`repro.lint`): linting a generated model
+    must never raise, must report the same diagnostic codes for the
+    module text and its printer round trip (lint-cleanliness survives
+    reformatting), and must report zero *error*-severity findings for
+    any module the elaborator accepted — an error-severity lint finding
+    on a working model is a linter false positive by definition.
 
 :func:`check_module` returns ``None`` on full agreement or the first
 :class:`Disagreement`, which carries enough context (axis, field,
@@ -37,7 +44,7 @@ expected/actual renderings) to drive the shrinker and the fuzz report.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..analysis import Analysis
 from ..coverage.mutation import mutation_covered
@@ -56,6 +63,7 @@ __all__ = [
     "AXIS_BACKEND",
     "AXIS_EXPLICIT",
     "AXIS_ROUNDTRIP",
+    "AXIS_LINT",
     "DEFAULT_AXES",
     "AXIS_CONFIGS",
     "COST_FIELDS",
@@ -70,10 +78,12 @@ AXIS_GC = "gc"
 AXIS_BACKEND = "backend"
 AXIS_EXPLICIT = "explicit"
 AXIS_ROUNDTRIP = "roundtrip"
+AXIS_LINT = "lint"
 
 #: Every axis, in checking order (cheap symbolic re-runs first).
 DEFAULT_AXES: Tuple[str, ...] = (
     AXIS_MONO, AXIS_GC, AXIS_BACKEND, AXIS_EXPLICIT, AXIS_ROUNDTRIP,
+    AXIS_LINT,
 )
 
 #: The engine configuration each symbolic axis re-runs under.  The
@@ -209,6 +219,10 @@ def check_module(
         disagreement = _check_roundtrip(module, text)
         if disagreement is not None:
             return disagreement
+    if AXIS_LINT in axes:
+        disagreement = _check_lint(module, text)
+        if disagreement is not None:
+            return disagreement
     if AXIS_EXPLICIT in axes:
         disagreement = _check_explicit(
             module, ref_analysis, reference, mutation_cap
@@ -253,6 +267,43 @@ def _check_roundtrip(module: Module, text: str) -> Optional[Disagreement]:
         return Disagreement(
             AXIS_ROUNDTRIP, "text", "print(parse(t)) == t",
             "re-printed text differs",
+        )
+    return None
+
+
+def _check_lint(module: Module, text: str) -> Optional[Disagreement]:
+    """The static analyzer's three fuzz invariants (see module docs)."""
+    from ..lint import lint_source
+
+    try:
+        report = lint_source(text, filename=module.name)
+    except Exception as exc:  # lint must never raise, even on garbage
+        return Disagreement(
+            AXIS_LINT, "crash", "a lint report",
+            f"{type(exc).__name__}: {exc}",
+        )
+    # The reference pipeline already elaborated this module successfully,
+    # so every error-severity finding would be a false positive.
+    errors = [d for d in report.diagnostics if d.severity.name == "ERROR"]
+    if errors:
+        return Disagreement(
+            AXIS_LINT, "errors",
+            "no error-severity findings on an elaborated model",
+            "; ".join(d.format() for d in errors),
+        )
+    printed = module_to_str(module)
+    try:
+        reprinted = lint_source(printed, filename=module.name)
+    except Exception as exc:
+        return Disagreement(
+            AXIS_LINT, "roundtrip-crash", "a lint report",
+            f"{type(exc).__name__}: {exc}",
+        )
+    if report.codes() != reprinted.codes():
+        return Disagreement(
+            AXIS_LINT, "codes",
+            repr(list(report.codes())),
+            repr(list(reprinted.codes())),
         )
     return None
 

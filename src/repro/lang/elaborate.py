@@ -22,16 +22,12 @@ the offending text rather than at library internals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
-from ..bdd import ResourcePolicy
-from ..engine import EngineConfig, _coalesce_trans
 from ..ctl.ast import CtlFormula, formula_atoms
 from ..errors import ParseError
 from ..expr.arith import add_const_bits, add_words_bits, const_bits, mux
-from ..expr.ast import Const, Expr, FALSE_EXPR, Var
-from ..fsm.builder import CircuitBuilder
-from ..fsm.fsm import FSM
+from ..expr.ast import FALSE_EXPR, Const, Expr, Var
 from .ast import (
     Case,
     DefineDecl,
@@ -44,6 +40,11 @@ from .ast import (
     WordRef,
     WordSum,
 )
+
+if TYPE_CHECKING:
+    from ..bdd import ResourcePolicy
+    from ..engine import EngineConfig
+    from ..fsm.fsm import FSM
 
 __all__ = ["ElaboratedModel", "elaborate"]
 
@@ -66,6 +67,8 @@ class _Elaborator:
         config: Optional[EngineConfig] = None,
         policy: Optional[ResourcePolicy] = None,
     ):
+        from ..engine import EngineConfig
+
         self.module = module
         self.config = config if config is not None else EngineConfig()
         self.policy = policy
@@ -281,6 +284,8 @@ class _Elaborator:
     # ------------------------------------------------------------------
 
     def run(self) -> ElaboratedModel:
+        from ..fsm.builder import CircuitBuilder
+
         module = self.module
         self.build_symbol_tables()
 
@@ -393,5 +398,10 @@ def elaborate(
     validation failure (unknown signals, width mismatches, non-exhaustive
     cases, init on a free input, ...).
     """
+    # The engine (and through it the BDD layer) is imported only when a
+    # module is actually lowered: importing this package must stay cheap
+    # and BDD-free so ``repro.lint`` can use the parser alone.
+    from ..engine import _coalesce_trans
+
     config = _coalesce_trans("elaborate", config, trans)
     return _Elaborator(module, config=config, policy=policy).run()

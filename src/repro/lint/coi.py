@@ -1,0 +1,76 @@
+"""Cone-of-influence analysis linking latches, observed signals, properties.
+
+The paper's coverage metric (Definition 1) perturbs *observed* signals
+and asks whether any *property* notices.  Two purely structural facts
+bound that metric before any BDD is built:
+
+* a latch outside every property's cone of influence can never change a
+  verdict — its Definition-1 contribution is exactly zero; and
+* a latch that cannot reach any observed signal through the dependency
+  graph cannot be covered no matter which properties are written.
+
+Both cones are dependency closures over :class:`~repro.lint.deps.DepGraph`,
+seeded from property atoms and the ``OBSERVED`` list respectively.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set
+
+from ..ctl.ast import formula_atoms
+from ..lang.ast import Module
+from .deps import DepGraph
+from .symbols import SymbolTable
+
+__all__ = [
+    "spec_seeds",
+    "property_cones",
+    "union_property_cone",
+    "observed_cone",
+]
+
+
+def spec_seeds(module: Module, table: SymbolTable) -> List[FrozenSet[str]]:
+    """Per-SPEC sets of declared signals the property mentions.
+
+    Atoms written against implicit word bits resolve to their parent
+    word; undeclared atoms (RML001 elsewhere) are dropped.
+    """
+    seeds: List[FrozenSet[str]] = []
+    for spec in module.specs:
+        resolved: Set[str] = set()
+        for atom in formula_atoms(spec.formula):
+            name = table.resolve(atom)
+            if name is not None:
+                resolved.add(name)
+        seeds.append(frozenset(resolved))
+    return seeds
+
+
+def property_cones(
+    module: Module, table: SymbolTable, graph: DepGraph
+) -> List[FrozenSet[str]]:
+    """The cone of influence of each SPEC, in declaration order."""
+    return [graph.closure(seeds) for seeds in spec_seeds(module, table)]
+
+
+def union_property_cone(
+    module: Module, table: SymbolTable, graph: DepGraph
+) -> FrozenSet[str]:
+    """Everything at least one property can see."""
+    union: Set[str] = set()
+    for cone in property_cones(module, table, graph):
+        union |= cone
+    return frozenset(union)
+
+
+def observed_cone(
+    module: Module, table: SymbolTable, graph: DepGraph
+) -> FrozenSet[str]:
+    """Everything the ``OBSERVED`` list transitively depends on."""
+    seeds = [
+        name
+        for name in (table.resolve(obs) for obs in module.observed)
+        if name is not None
+    ]
+    return graph.closure(seeds)

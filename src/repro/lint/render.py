@@ -1,0 +1,55 @@
+"""Renderers for lint reports: human text and ``repro-lint/v1`` JSON.
+
+Both renderings are pure functions of the (already-sorted) report, so
+the same model text always produces byte-identical output — the same
+determinism contract the suite reports and fuzz oracle rely on.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .diagnostics import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """GCC-style one-line-per-finding text, with a summary footer.
+
+    ``verbose`` appends each code's registered name, e.g.
+    ``warning[RML011 observed-unmentioned]``.
+    """
+    lines = []
+    for diagnostic in report.diagnostics:
+        if verbose:
+            lines.append(
+                f"{diagnostic.location()}: {diagnostic.severity}"
+                f"[{diagnostic.code} {diagnostic.name}] {diagnostic.message}"
+            )
+        else:
+            lines.append(diagnostic.format())
+    checked = len(report.files)
+    noun = "file" if checked == 1 else "files"
+    if report.clean:
+        summary = f"{checked} {noun} checked, no findings"
+    else:
+        parts = []
+        for severity, count in (
+            ("error", report.errors),
+            ("warning", report.warnings),
+            ("info", report.infos),
+        ):
+            if count:
+                plural = "" if count == 1 else "s"
+                parts.append(f"{count} {severity}{plural}")
+        summary = f"{checked} {noun} checked, " + ", ".join(parts)
+    if report.suppressed:
+        summary += f" ({report.suppressed} suppressed)"
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: LintReport, indent: int = 2) -> str:
+    """The ``repro-lint/v1`` document as a JSON string."""
+    return json.dumps(report.to_json(), indent=indent, sort_keys=True) + "\n"

@@ -1,0 +1,106 @@
+"""Lint entry points: modules, source text, and files on disk.
+
+``lint_source`` is the canonical path: parse (capturing syntax errors as
+``RML000`` diagnostics rather than exceptions), run the rule battery,
+then apply file-scope waiver pragmas.  A pragma is an ``.rml`` comment::
+
+    -- repro-lint: allow RML016, RML013
+
+anywhere in the file; it drops every diagnostic carrying a listed code
+and counts it in :attr:`LintReport.suppressed` instead.  Pragmas are
+scanned from the raw text (the tokenizer discards comments), so they
+work even on files that fail to parse.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import FrozenSet, List, Optional, Union
+
+from ..errors import ParseError
+from ..lang.ast import Module
+from ..lang.parser import parse_module
+from .diagnostics import CODE_INDEX, Diagnostic, LintReport
+from .rules import run_rules
+
+__all__ = ["lint_module", "lint_source", "lint_path", "scan_pragmas"]
+
+_PRAGMA = re.compile(r"--\s*repro-lint:\s*allow\s+([A-Z0-9,\s]+)")
+_LOCATION_PREFIX = re.compile(r"^\S*:\d+:\d+:\s+")
+
+
+def scan_pragmas(text: str) -> FrozenSet[str]:
+    """Codes waived by ``-- repro-lint: allow`` comments in ``text``.
+
+    Unregistered codes in a pragma are ignored (tolerant by design:
+    a file may waive a code introduced by a newer release).
+    """
+    allowed = set()
+    for match in _PRAGMA.finditer(text):
+        for code in match.group(1).split(","):
+            code = code.strip()
+            if code in CODE_INDEX:
+                allowed.add(code)
+    return frozenset(allowed)
+
+
+def _apply_pragmas(
+    diagnostics: List[Diagnostic],
+    allowed: FrozenSet[str],
+    filename: str,
+) -> LintReport:
+    kept = [d for d in diagnostics if d.code not in allowed]
+    return LintReport(
+        diagnostics=kept,
+        files=[filename],
+        suppressed=len(diagnostics) - len(kept),
+    )
+
+
+def lint_module(
+    module: Module,
+    text: Optional[str] = None,
+    filename: Optional[str] = None,
+) -> LintReport:
+    """Lint an already-parsed module.
+
+    ``text`` (the original source) improves anchors for constructs the
+    AST carries no position for, and enables waiver pragmas.
+    """
+    name = filename or module.filename or "<module>"
+    diagnostics = run_rules(module, name, text)
+    allowed = scan_pragmas(text) if text else frozenset()
+    return _apply_pragmas(diagnostics, allowed, name)
+
+
+def lint_source(text: str, filename: Optional[str] = None) -> LintReport:
+    """Lint ``.rml`` source text.
+
+    A file that fails to parse yields a single ``RML000`` diagnostic at
+    the parser's reported position — linting never raises on bad input.
+    """
+    name = filename or "<module>"
+    try:
+        module = parse_module(text, filename=name)
+    except ParseError as exc:
+        # The parser prefixes messages with "file:line:col: "; the
+        # diagnostic carries the location structurally, so strip it.
+        message = _LOCATION_PREFIX.sub("", str(exc))
+        diagnostics = [
+            Diagnostic(
+                "RML000",
+                message,
+                name,
+                exc.line or 0,
+                exc.column or 0,
+            )
+        ]
+        return _apply_pragmas(diagnostics, scan_pragmas(text), name)
+    return lint_module(module, text=text, filename=name)
+
+
+def lint_path(path: Union[str, Path]) -> LintReport:
+    """Lint one ``.rml`` file from disk."""
+    path = Path(path)
+    return lint_source(path.read_text(), filename=str(path))

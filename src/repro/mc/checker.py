@@ -30,6 +30,10 @@ from ..ctl.ast import (
     AG,
     AU,
     AX,
+    EF,
+    EG,
+    EU,
+    EX,
     Atom,
     CtlAnd,
     CtlFormula,
@@ -38,10 +42,6 @@ from ..ctl.ast import (
     CtlNot,
     CtlOr,
     CtlXor,
-    EF,
-    EG,
-    EU,
-    EX,
     collapse,
 )
 from ..fsm.fsm import FSM

@@ -16,6 +16,10 @@ from ..ctl.ast import (
     AG,
     AU,
     AX,
+    EF,
+    EG,
+    EU,
+    EX,
     Atom,
     CtlAnd,
     CtlFormula,
@@ -24,10 +28,6 @@ from ..ctl.ast import (
     CtlNot,
     CtlOr,
     CtlXor,
-    EF,
-    EG,
-    EU,
-    EX,
 )
 from ..expr.ast import Expr
 from ..fsm.explicit import ExplicitModel

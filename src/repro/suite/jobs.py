@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..analysis import AnalysisResult
-from ..engine import EngineConfig, _UNSET, _coalesce_flat, _warn_deprecated
+from ..engine import _UNSET, EngineConfig, _coalesce_flat, _warn_deprecated
 
 __all__ = ["CoverageJob", "JobResult"]
 

@@ -21,9 +21,6 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..engine import EngineConfig, _UNSET, _coalesce_flat, _warn_deprecated
-from ..errors import ConfigError
-
 from ..circuits import (
     build_circular_queue,
     build_counter,
@@ -41,6 +38,8 @@ from ..circuits import (
     priority_buffer_lo_augmented_properties,
     priority_buffer_lo_properties,
 )
+from ..engine import _UNSET, EngineConfig, _coalesce_flat, _warn_deprecated
+from ..errors import ConfigError
 from .jobs import KIND_BUILTIN, KIND_RML, CoverageJob
 
 __all__ = [

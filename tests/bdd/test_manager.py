@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bdd import BDDManager, FALSE, TRUE
+from repro.bdd import FALSE, TRUE, BDDManager
 from repro.errors import BDDError
 
 

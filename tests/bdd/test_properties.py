@@ -10,7 +10,7 @@ import itertools
 
 from hypothesis import given, settings, strategies as st
 
-from repro.bdd import BDDManager, FALSE, TRUE
+from repro.bdd import FALSE, TRUE, BDDManager
 
 VARS = ["a", "b", "c", "d", "e"]
 

@@ -11,7 +11,6 @@ from repro.circuits import (
 )
 from repro.coverage import CoverageEstimator
 from repro.ctl import parse_ctl
-from repro.expr import parse_expr
 from repro.mc import ModelChecker
 
 

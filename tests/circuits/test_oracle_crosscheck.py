@@ -8,7 +8,6 @@ set exactly.  For the (bigger) queue a random sample of states is checked.
 
 import random
 
-import pytest
 
 from repro.circuits import (
     build_circular_queue,

@@ -11,7 +11,7 @@ from repro.ctl import parse_ctl
 from repro.errors import CoverageError, NotInSubsetError, VerificationError
 from repro.expr import Var, parse_expr
 from repro.expr.arith import increment_mod_bits, mux
-from repro.fsm import CircuitBuilder, ExplicitGraph
+from repro.fsm import CircuitBuilder
 from repro.mc import ModelChecker
 
 

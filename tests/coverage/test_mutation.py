@@ -10,7 +10,6 @@ from repro.coverage import (
 )
 from repro.ctl import parse_ctl
 from repro.errors import VerificationError
-from repro.expr import parse_expr
 from repro.fsm import ExplicitGraph
 
 

@@ -11,7 +11,7 @@ raise on names the labelling does not contain.
 
 import pytest
 
-from repro.circuits import build_counter, counter_properties
+from repro.circuits import build_counter
 from repro.coverage import CoverageEstimator, mutation_covered
 from repro.ctl import parse_ctl
 from repro.errors import ModelError

@@ -4,12 +4,11 @@ import pytest
 
 from repro.ctl import (
     AU,
-    Atom,
     TRUE_ATOM,
+    Atom,
     desugar_af,
     normalize_for_coverage,
     parse_ctl,
-    validate_acceptable,
 )
 from repro.errors import NotInSubsetError
 from repro.expr import Var

@@ -7,22 +7,22 @@ from repro.ctl import (
     AG,
     AU,
     AX,
+    EF,
+    EG,
+    EU,
+    EX,
     Atom,
     CtlAnd,
     CtlImplies,
     CtlNot,
     CtlOr,
-    EF,
-    EG,
-    EU,
-    EX,
     ctl_to_str,
     formula_atoms,
     is_propositional,
     parse_ctl,
 )
 from repro.errors import ParseError
-from repro.expr import And, Not, Var, WordCmp, parse_expr
+from repro.expr import Not, Var, WordCmp, parse_expr
 
 
 class TestTemporalOperators:

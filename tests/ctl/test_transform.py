@@ -17,7 +17,7 @@ from repro.ctl import (
     substitute_signal,
 )
 from repro.errors import NotInSubsetError
-from repro.expr import Not, Var, parse_expr
+from repro.expr import Var, parse_expr
 
 
 def transform(text, observed="q"):

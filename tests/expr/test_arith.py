@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import EvaluationError
-from repro.expr import evaluate, int_to_bits, parse_expr, word_value
+from repro.expr import evaluate, int_to_bits
 from repro.expr.arith import (
     add_const_bits,
     add_words_bits,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ModelError
 from repro.expr import parse_expr
-from repro.expr.arith import increment_mod_bits, mux
+from repro.expr.arith import increment_mod_bits
 from repro.fsm import CircuitBuilder
 
 

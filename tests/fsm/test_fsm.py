@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ModelError
 from repro.expr import parse_expr
-from repro.fsm import CircuitBuilder, ExplicitGraph
+from repro.fsm import CircuitBuilder
 
 
 def build_chain(length=4):

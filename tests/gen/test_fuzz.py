@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.cli import main
 from repro.gen import FUZZ_SCHEMA_ID, GenParams, case_key, run_fuzz

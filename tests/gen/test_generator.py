@@ -12,6 +12,7 @@ import pytest
 from repro.ctl.actl import normalize_for_coverage
 from repro.engine import EngineConfig
 from repro.errors import ConfigError
+from repro.expr import parse_expr
 from repro.gen import (
     GenParams,
     generate,
@@ -21,7 +22,6 @@ from repro.gen import (
     random_graph,
     random_module,
 )
-from repro.expr import parse_expr
 from repro.lang import elaborate, module_to_str, parse_module
 
 SEEDS = [f"t:{i}" for i in range(25)]

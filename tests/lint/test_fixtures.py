@@ -1,0 +1,117 @@
+"""Every shipped diagnostic code has a fixture that triggers exactly it.
+
+For each ``RMLnnn`` the fixtures directory holds a pair:
+
+* ``rmlnnn.rml`` — a minimal model whose lint report is exactly
+  ``(RMLnnn,)``: the code under test fires and *nothing else* does, so
+  the fixture pins the rule's trigger condition, not a pile of noise;
+* ``rmlnnn_clean.rml`` — the same model minimally edited to lint clean,
+  proving the rule keys on the defect and not on the surrounding shape.
+
+Together the pairs are a tripwire for rule regressions in both
+directions: a rule that stops firing breaks the bad fixture, a rule
+that starts over-firing breaks a clean twin.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import CODE_INDEX, DIAGNOSTIC_CODES, Severity, lint_path
+
+FIXTURES = Path(__file__).parent / "fixtures"
+ALL_CODES = [info.code for info in DIAGNOSTIC_CODES]
+
+
+def fixture_pair(code: str):
+    stem = code.lower()
+    return FIXTURES / f"{stem}.rml", FIXTURES / f"{stem}_clean.rml"
+
+
+class TestCatalogueCompleteness:
+    def test_every_code_has_a_fixture_pair(self):
+        for code in ALL_CODES:
+            bad, clean = fixture_pair(code)
+            assert bad.is_file(), f"missing fixture for {code}"
+            assert clean.is_file(), f"missing clean twin for {code}"
+
+    def test_no_orphan_fixtures(self):
+        # A fixture for a retired code would silently test nothing.
+        for path in FIXTURES.glob("*.rml"):
+            code = path.stem.removesuffix("_clean").upper()
+            assert code in CODE_INDEX, f"fixture {path.name} has no code"
+
+
+class TestFixturePairs:
+    @pytest.mark.parametrize("code", ALL_CODES)
+    def test_bad_fixture_triggers_exactly_its_code(self, code):
+        bad, _ = fixture_pair(code)
+        report = lint_path(bad)
+        assert report.codes() == (code,)
+        assert report.suppressed == 0
+
+    @pytest.mark.parametrize("code", ALL_CODES)
+    def test_clean_twin_is_clean(self, code):
+        _, clean = fixture_pair(code)
+        report = lint_path(clean)
+        assert report.codes() == ()
+        assert report.clean
+        assert report.suppressed == 0
+
+    @pytest.mark.parametrize("code", ALL_CODES)
+    def test_severity_matches_catalogue(self, code):
+        bad, _ = fixture_pair(code)
+        (diagnostic,) = lint_path(bad).diagnostics
+        assert diagnostic.severity == CODE_INDEX[code].severity
+        assert diagnostic.name == CODE_INDEX[code].name
+
+    @pytest.mark.parametrize("code", ALL_CODES)
+    def test_finding_is_anchored(self, code):
+        # Every fixture finding must carry a usable file:line:col anchor;
+        # line 1 is the fixture's comment header, so real anchors are
+        # strictly below it.
+        bad, _ = fixture_pair(code)
+        (diagnostic,) = lint_path(bad).diagnostics
+        assert diagnostic.file.endswith(f"{code.lower()}.rml")
+        assert diagnostic.line > 1
+        assert diagnostic.column >= 1
+
+
+class TestPragmas:
+    def test_allow_pragma_suppresses_and_counts(self, tmp_path):
+        bad, _ = fixture_pair("RML014")
+        waived = tmp_path / "waived.rml"
+        waived.write_text(
+            "-- repro-lint: allow RML014\n" + bad.read_text()
+        )
+        report = lint_path(waived)
+        assert report.codes() == ()
+        assert report.suppressed == 1
+
+    def test_pragma_only_suppresses_listed_codes(self, tmp_path):
+        bad, _ = fixture_pair("RML014")
+        waived = tmp_path / "waived.rml"
+        waived.write_text(
+            "-- repro-lint: allow RML016\n" + bad.read_text()
+        )
+        report = lint_path(waived)
+        assert report.codes() == ("RML014",)
+        assert report.suppressed == 0
+
+
+class TestReportApi:
+    def test_merge_combines_files_and_counts(self):
+        bad_error, _ = fixture_pair("RML001")
+        bad_warning, _ = fixture_pair("RML014")
+        merged = lint_path(bad_error).merge(lint_path(bad_warning))
+        assert merged.codes() == ("RML001", "RML014")
+        assert len(merged.files) == 2
+        assert merged.errors == 1
+        assert merged.warnings == 1
+
+    def test_at_or_above_threshold(self):
+        bad_info, _ = fixture_pair("RML016")
+        report = lint_path(bad_info)
+        assert report.at_or_above(Severity.INFO)
+        assert not report.at_or_above(Severity.WARNING)
+        assert report.max_severity() == Severity.INFO

@@ -1,11 +1,9 @@
 """Unit tests for the symbolic CTL model checker on known structures."""
 
-import pytest
 
 from repro.ctl import parse_ctl
-from repro.expr import parse_expr
-from repro.expr.arith import increment_mod_bits, mux
 from repro.expr import Var
+from repro.expr.arith import increment_mod_bits, mux
 from repro.fsm import CircuitBuilder, ExplicitGraph
 from repro.mc import ModelChecker
 

@@ -1,6 +1,5 @@
 """Tests for trace formatting, input-sequence extraction, and work stats."""
 
-import time
 
 from repro.bdd import BDDManager
 from repro.circuits import build_counter

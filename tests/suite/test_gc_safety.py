@@ -35,8 +35,8 @@ import pytest
 
 from repro.bdd import BDDManager, Function, ResourcePolicy
 from repro.coverage import CoverageEstimator, format_uncovered_traces
-from repro.engine import EngineConfig
 from repro.coverage.report import CoverageReport, PropertyCoverage
+from repro.engine import EngineConfig
 from repro.lang import elaborate, load_module
 from repro.mc import ModelChecker, WorkStats
 from repro.suite import BUILTIN_TARGETS, build_builtin

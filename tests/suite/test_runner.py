@@ -8,9 +8,9 @@ import pytest
 from repro.engine import EngineConfig
 from repro.errors import ReportError
 from repro.suite import (
-    CoverageJob,
     JSON_SCHEMA_ID,
     JSON_SCHEMA_ID_V1,
+    CoverageJob,
     builtin_jobs,
     execute_job,
     format_results,

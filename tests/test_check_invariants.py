@@ -1,0 +1,85 @@
+"""The repo-invariant gate works: ``tools/check_invariants.py`` passes on
+``src/``, and every rule demonstrably fires on the bad fixture."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+BAD_FIXTURE = ROOT / "tools" / "fixtures" / "bad_invariants.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_invariants", ROOT / "tools" / "check_invariants.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_src_tree_is_clean():
+    checker = _load_checker()
+    violations = checker.check_tree(ROOT / "src")
+    assert violations == [], "\n".join(v.format() for v in violations)
+
+
+def test_every_rule_fires_on_bad_fixture():
+    checker = _load_checker()
+    violations = checker.check_file(BAD_FIXTURE, all_rules=True)
+    fired = {v.rule for v in violations}
+    assert fired == {rule for rule, _, _ in checker.RULES}
+
+
+def test_bad_fixture_violations_are_anchored():
+    checker = _load_checker()
+    violations = checker.check_file(BAD_FIXTURE, all_rules=True)
+    assert violations, "bad fixture produced no violations"
+    for violation in violations:
+        assert violation.line > 0
+        assert str(BAD_FIXTURE) in violation.format()
+
+
+def test_self_recursion_detected_via_self_and_bare_name():
+    checker = _load_checker()
+    violations = checker.check_file(BAD_FIXTURE, all_rules=True)
+    messages = [
+        v.message for v in violations if v.rule == "kernel-recursion"
+    ]
+    assert any("self.apply()" in m for m in messages)
+    assert any("bad_countdown()" in m for m in messages)
+
+
+def test_scoped_scan_skips_out_of_scope_files(tmp_path):
+    """On a tree scan, rules only apply inside their scoped paths — a
+    recursive helper outside the backend dir is fine."""
+    checker = _load_checker()
+    outside = tmp_path / "helper.py"
+    outside.write_text(
+        "def walk(n):\n    return 0 if n == 0 else walk(n - 1)\n"
+    )
+    assert checker.check_file(outside) == []
+    assert checker.check_file(outside, all_rules=True) != []
+
+
+def test_cli_exit_codes():
+    clean = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_invariants.py")],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+    bad = subprocess.run(
+        [
+            sys.executable,
+            str(ROOT / "tools" / "check_invariants.py"),
+            str(BAD_FIXTURE),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    assert bad.returncode == 1
+    assert "invariant violation" in bad.stdout

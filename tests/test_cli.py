@@ -5,7 +5,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.cli import TARGETS, build_parser, main
+from repro.cli import TARGETS, main
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
@@ -118,7 +118,7 @@ class TestRunSubcommand:
         builtin_out = capsys.readouterr().out
 
         def percentage(text):
-            line = next(l for l in text.splitlines() if "%" in l)
+            line = next(ln for ln in text.splitlines() if "%" in ln)
             return line.split("=")[-1].strip()
 
         assert percentage(rml_out) == percentage(builtin_out) == "100.00%"

@@ -8,7 +8,6 @@ JSON exposes the GC/peak counters the policy controls.
 import json
 from pathlib import Path
 
-import pytest
 
 from repro.cli import main
 from repro.engine import EngineConfig

@@ -2,7 +2,6 @@
 resolves, via the same checker CI runs (``tools/check_links.py``)."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parents[1]

@@ -6,7 +6,6 @@ their internal assertions fire under pytest.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest
