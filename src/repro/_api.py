@@ -69,6 +69,7 @@ from .errors import (
     ParseError,
     ReportError,
     ReproError,
+    ServeError,
     VerificationError,
 )
 from .expr import Expr, evaluate, expr_to_str, parse_expr
@@ -120,6 +121,15 @@ from .obs import (
     write_baseline,
     write_chrome_trace,
 )
+from .serve import (
+    AnalysisServer,
+    ResultCache,
+    ServeClient,
+    ServeOptions,
+    model_key,
+    request_key,
+    run_server,
+)
 from .suite import (
     BUILTIN_TARGETS,
     BuiltinTarget,
@@ -133,6 +143,7 @@ from .suite import (
     read_report,
     rml_job,
     run_jobs,
+    run_jobs_via_server,
     suite_report,
     write_report,
 )
@@ -187,10 +198,13 @@ __all__ = [
     # suite
     "CoverageJob", "JobResult", "BuiltinTarget", "BUILTIN_TARGETS",
     "build_builtin", "builtin_jobs", "default_jobs", "discover_rml",
-    "rml_job", "execute_job", "run_jobs", "suite_report", "write_report",
-    "read_report",
+    "rml_job", "execute_job", "run_jobs", "run_jobs_via_server",
+    "suite_report", "write_report", "read_report",
+    # serve (coverage-as-a-service)
+    "AnalysisServer", "ServeOptions", "ServeClient", "ResultCache",
+    "run_server", "model_key", "request_key",
     # errors
     "ReproError", "BDDError", "ParseError", "EvaluationError", "ModelError",
     "NotInSubsetError", "VerificationError", "CoverageError", "ConfigError",
-    "ReportError",
+    "ReportError", "ServeError",
 ]

@@ -42,14 +42,14 @@ reused fixpoints from verification.
 
 from __future__ import annotations
 
-from dataclasses import InitVar, dataclass, field
+from dataclasses import InitVar, dataclass, field, fields
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from .coverage import CoverageEstimator, CoverageReport, format_uncovered_traces
 from .ctl.ast import CtlFormula
 from .engine import EngineConfig, _warn_deprecated
-from .errors import ModelError, VerificationError
+from .errors import ModelError, ReportError, VerificationError
 from .fsm.fsm import FSM
 from .mc import CheckResult, ModelChecker, WorkMeter, WorkStats
 from .obs.telemetry import Telemetry
@@ -167,6 +167,43 @@ class AnalysisResult:
         if self.lint is not None:
             payload["lint"] = self.lint
         return payload
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "AnalysisResult":
+        """Revive a result from its :meth:`to_json` document — the
+        decoding half of the wire format ``repro serve`` responses and
+        suite report jobs share.
+
+        Validating: unknown fields and missing identity fields raise
+        :class:`~repro.errors.ReportError` (a misspelled key should fail
+        loudly, not decode to a default).  Round-trips exactly::
+
+            >>> r = AnalysisResult(name="demo", kind="builtin", status="ok")
+            >>> AnalysisResult.from_json(r.to_json()) == r
+            True
+        """
+        if not isinstance(data, dict):
+            raise ReportError(
+                f"AnalysisResult JSON must be an object, "
+                f"got {type(data).__name__}"
+            )
+        payload = dict(data)
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ReportError(
+                f"AnalysisResult JSON has unknown field(s): "
+                f"{', '.join(unknown)}"
+            )
+        missing = [k for k in ("name", "kind", "status") if k not in payload]
+        if missing:
+            raise ReportError(
+                f"AnalysisResult JSON lacks required field(s): "
+                f"{', '.join(missing)}"
+            )
+        if "config" in payload:
+            payload["config"] = EngineConfig.from_json(payload["config"])
+        return cls(**payload)
 
     def format_line(self) -> str:
         """One human-readable summary line."""
@@ -326,23 +363,33 @@ class Analysis:
         *,
         filename: Optional[str] = None,
     ) -> "Analysis":
-        """A ``.rml`` model, from a file path or from module text.
+        """A ``.rml`` model, from a file path, module text, or a parsed
+        :class:`~repro.lang.ast.Module`.
 
         A :class:`~pathlib.Path`, or any newline-free string, is read
         from disk; a string containing newlines is parsed as module text
-        (``filename`` labels its error messages).  The module must
-        declare ``OBSERVED`` signals and at least one ``SPEC`` (raises
-        :class:`~repro.errors.ModelError` otherwise — an analysis
-        without them has no defined coverage).
+        (``filename`` labels its error messages).  An already-parsed
+        module skips the parse entirely — the reuse hook for callers
+        that parsed once for other reasons (the analysis server parses
+        for request-key computation, then builds from the same AST).
+        The module must declare ``OBSERVED`` signals and at least one
+        ``SPEC`` (raises :class:`~repro.errors.ModelError` otherwise —
+        an analysis without them has no defined coverage).
 
         Raises :class:`OSError` for unreadable paths and
         :class:`~repro.errors.ParseError` (with source location) for
         invalid module text.
         """
         from .lang import load_module, parse_module
+        from .lang.ast import Module
 
         config = config if config is not None else EngineConfig()
         telemetry = Telemetry.from_level(config.telemetry)
+        if isinstance(source, Module):
+            return cls._from_module(
+                source, config, path=None, filename=filename,
+                telemetry=telemetry,
+            )
         with telemetry.span("parse"):
             if _looks_like_path(source):
                 path: Optional[str] = str(source)
@@ -420,9 +467,15 @@ class Analysis:
         )
 
     @classmethod
-    def from_job(cls, job) -> "Analysis":
+    def from_job(cls, job, module=None) -> "Analysis":
         """Rebuild a :class:`~repro.suite.jobs.CoverageJob` description —
-        the worker-process side of suite fan-out."""
+        the worker-process side of suite fan-out.
+
+        ``module`` short-circuits the parse for rml jobs when the caller
+        already holds the job source's parsed AST (the analysis server's
+        inline workers reuse the module parsed for key computation); the
+        job's source text still travels along for lint anchors.
+        """
         from .lang import parse_module
         from .suite.jobs import KIND_BUILTIN as JOB_BUILTIN
         from .suite.jobs import KIND_RML as JOB_RML
@@ -437,7 +490,8 @@ class Analysis:
         elif job.kind == JOB_RML:
             if job.source is None:
                 raise ValueError(f"rml job {job.name!r} has no source")
-            module = parse_module(job.source, filename=job.path)
+            if module is None:
+                module = parse_module(job.source, filename=job.path)
             analysis = cls._from_module(
                 module, job.config, path=job.path, source_text=job.source
             )
@@ -545,7 +599,7 @@ class Analysis:
                 )
         return self._lint_report
 
-    def result(self) -> AnalysisResult:
+    def result(self, include_lint: bool = True) -> AnalysisResult:
         """Run the whole pipeline and return its JSON-safe outcome.
 
         Verification failures become ``status="fail"`` (with the failing
@@ -554,6 +608,11 @@ class Analysis:
         verification plus estimation and are accumulated where the work
         is computed, so they are correct even when ``verify()`` or
         ``coverage()`` already ran on this instance.
+
+        ``include_lint=False`` omits the lint block: analysis server
+        workers use it because lint anchors to raw source text, which
+        the content-addressed cache deliberately normalises away — the
+        server computes lint per request and merges it back in.
         """
         failing = self.failing()
         report = None if failing else self.coverage()
@@ -578,7 +637,9 @@ class Analysis:
                 self.telemetry.metrics() if self.telemetry.enabled else None
             ),
             lint=(
-                self.lint().to_json() if self.module is not None else None
+                self.lint().to_json()
+                if include_lint and self.module is not None
+                else None
             ),
         )
         if failing:

@@ -36,6 +36,14 @@ Benchmarks (the committed perf trajectory; see ``docs/observability.md``)::
     repro-coverage bench --out benchmarks/baselines
     repro-coverage bench --compare benchmarks/baselines
 
+Serving (a persistent analysis server with a content-addressed result
+cache; ``run``/``suite`` become thin clients via ``--server``; see
+``docs/serving.md``)::
+
+    repro-coverage serve --port 8737 --workers 4
+    repro-coverage run examples/counter.rml --server http://localhost:8737
+    repro-coverage suite examples --server http://localhost:8737
+
 Telemetry (purely observational — results never change)::
 
     repro-coverage counter --profile
@@ -186,7 +194,20 @@ def _build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument("file", help="path to a .rml model file")
     _add_traces_flag(parser)
     _add_telemetry_flags(parser)
+    _add_server_flag(parser)
     return parser
+
+
+def _add_server_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--server", metavar="URL",
+        help=(
+            "send the analysis to a running 'repro-coverage serve' "
+            "instance (e.g. http://localhost:8737) instead of computing "
+            "locally; identical requests are answered from its "
+            "content-addressed cache"
+        ),
+    )
 
 
 def _build_fuzz_parser() -> argparse.ArgumentParser:
@@ -375,6 +396,70 @@ def _build_suite_parser() -> argparse.ArgumentParser:
         "--no-builtins", action="store_true",
         help="run only discovered .rml jobs",
     )
+    _add_server_flag(parser)
+    return parser
+
+
+def _build_serve_parser() -> argparse.ArgumentParser:
+    from .serve.cache import DEFAULT_MAX_ENTRIES, default_cache_dir
+    from .serve.server import DEFAULT_PORT
+    from .serve.workers import DEFAULT_RECYCLE_AFTER
+
+    parser = argparse.ArgumentParser(
+        prog="repro-coverage serve",
+        description=(
+            "run the persistent analysis server: POST /v1/analyze "
+            "computes coverage for .rml text or builtin targets, with a "
+            "content-addressed result cache (identical model + config => "
+            "one computation), in-flight request deduplication, and a "
+            "warm worker pool; see docs/serving.md"
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", metavar="HOST",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, metavar="PORT",
+        help=f"TCP port (default: {DEFAULT_PORT}; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help=(
+            "analysis worker processes (default: 2; 0 runs analyses "
+            "inline in the server process — single-threaded, but reuses "
+            "parsed models)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help=(
+            f"disk tier of the result cache (default: "
+            f"{default_cache_dir()}); pass 'none' to keep results in "
+            f"memory only"
+        ),
+    )
+    parser.add_argument(
+        "--max-cache-entries", type=int, default=DEFAULT_MAX_ENTRIES,
+        metavar="N",
+        help=(
+            f"bound on the in-memory cache tier "
+            f"(default: {DEFAULT_MAX_ENTRIES})"
+        ),
+    )
+    parser.add_argument(
+        "--recycle-after", type=int, default=DEFAULT_RECYCLE_AFTER,
+        metavar="N",
+        help=(
+            f"jobs per worker before the pool recycles itself "
+            f"(default: {DEFAULT_RECYCLE_AFTER})"
+        ),
+    )
+    # Test-only: honour crash-injection payloads (CI's serve-smoke job
+    # and the failure-path tests drive the respawn logic through this).
+    parser.add_argument(
+        "--test-hooks", action="store_true", help=argparse.SUPPRESS
+    )
     return parser
 
 
@@ -444,6 +529,7 @@ def _main_target(argv: List[str]) -> int:
         print("  fuzz               differential fuzzing (see fuzz --help)")
         print("  lint               static .rml/property analysis (see lint --help)")
         print("  bench              perf baselines + regression gate (see bench --help)")
+        print("  serve              persistent analysis server (see serve --help)")
         return 0
     target = BUILTIN_TARGETS.get(args.target)
     if target is None:
@@ -475,9 +561,46 @@ def _main_target(argv: List[str]) -> int:
         return 1
 
 
+def _run_via_server(args, config: EngineConfig) -> int:
+    """``run --server``: ship the model text to a serve instance and
+    render the revived result.  Trace/profile output needs the local
+    BDD engine, so those flags are a usage error here."""
+    from .analysis import AnalysisResult
+    from .errors import ServeError
+    from .serve.client import ServeClient
+
+    if args.traces or args.profile or args.trace_out:
+        print(
+            "error: --server cannot render --traces/--profile/--trace-out "
+            "(those need the in-process engine); drop them or run locally",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        text = Path(args.file).read_text()
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        envelope = ServeClient(args.server).analyze_rml(
+            text, config=config, path=str(args.file)
+        )
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = AnalysisResult.from_json(envelope["result"])
+    cached = "  [cached]" if envelope.get("cached") else ""
+    print(result.format_line() + cached)
+    if result.status == "ok":
+        return 0
+    return 1 if result.status == "fail" else 2
+
+
 def _main_run(argv: List[str]) -> int:
     args = _build_run_parser().parse_args(argv)
     config = _telemetry_config(EngineConfig.from_args(args), args)
+    if args.server:
+        return _run_via_server(args, config)
     try:
         analysis = Analysis.from_rml(Path(args.file), config=config)
     except OSError as exc:
@@ -517,7 +640,22 @@ def _main_suite(argv: List[str]) -> int:
         print("error: no jobs registered", file=sys.stderr)
         return 2
     started = time.perf_counter()
-    results = run_jobs(jobs, max_workers=max(1, args.jobs))
+    if args.server:
+        from .errors import ServeError
+        from .serve.client import ServeClient
+        from .suite import run_jobs_via_server
+
+        client = ServeClient(args.server)
+        try:
+            client.health()  # fail fast: one clear error beats N job errors
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        results = run_jobs_via_server(
+            jobs, client, max_workers=max(1, args.jobs)
+        )
+    else:
+        results = run_jobs(jobs, max_workers=max(1, args.jobs))
     elapsed = time.perf_counter() - started
     print(format_results(results, seconds=elapsed))
     if args.json:
@@ -690,6 +828,34 @@ def _main_bench(argv: List[str]) -> int:
     return 0
 
 
+def _main_serve(argv: List[str]) -> int:
+    args = _build_serve_parser().parse_args(argv)
+    from .serve.server import ServeOptions, run_server
+
+    if args.max_cache_entries < 1:
+        print("error: --max-cache-entries must be >= 1", file=sys.stderr)
+        return 2
+    memory_only = args.cache_dir == "none"
+    options = ServeOptions(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=None if memory_only else args.cache_dir,
+        memory_cache_only=memory_only,
+        max_cache_entries=args.max_cache_entries,
+        recycle_after=args.recycle_after,
+        test_hooks=args.test_hooks,
+    )
+    try:
+        return run_server(options)
+    except OSError as exc:
+        print(
+            f"error: cannot serve on {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+
+
 def _main_fuzz(argv: List[str]) -> int:
     from .gen import GenParams, run_fuzz, validate_axes, write_fuzz_report
 
@@ -759,6 +925,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _main_lint(argv[1:])
         if argv and argv[0] == "bench":
             return _main_bench(argv[1:])
+        if argv and argv[0] == "serve":
+            return _main_serve(argv[1:])
         return _main_target(argv)
     except ConfigError as exc:
         # The one place invalid configuration becomes an exit code.

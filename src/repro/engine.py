@@ -37,6 +37,7 @@ builders.
 
 from __future__ import annotations
 
+import json
 import warnings
 from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional
@@ -296,6 +297,24 @@ class EngineConfig:
             "telemetry": self.telemetry,
             "backend": self.backend,
         }
+
+    def fingerprint(self) -> str:
+        """The canonical one-line JSON rendering of this config — the
+        request-key hook for :mod:`repro.serve.keys`.
+
+        Sorted keys and compact separators make the string a pure function
+        of the config's *value*; because :meth:`to_json` lists every field
+        explicitly (defaults included), any future knob automatically
+        becomes part of every request key the serving layer computes — no
+        serve-side change needed when a field is added here.
+
+            >>> EngineConfig().fingerprint() == EngineConfig().fingerprint()
+            True
+            >>> EngineConfig(trans="mono").fingerprint() != \\
+            ...     EngineConfig().fingerprint()
+            True
+        """
+        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
 
     @classmethod
     def from_json(cls, data: Dict) -> "EngineConfig":

@@ -100,3 +100,24 @@ class ReportError(ReproError):
     mismatched ``schema`` identifiers (e.g. a ``repro-coverage-suite/v1``
     document handed to the v2 reader) and for structurally broken documents.
     """
+
+
+class ServeError(ReproError):
+    """Raised when an analysis server request fails.
+
+    Carries the HTTP ``status`` the server answered with (``0`` when the
+    failure was transport-level — connection refused, malformed reply)
+    and the decoded error ``payload`` when one was returned, so callers
+    can distinguish "your model doesn't parse" (422, with source
+    location) from "the server is unhealthy" (5xx / transport).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        payload: "dict | None" = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload

@@ -40,6 +40,7 @@ from typing import Callable, List, Optional, Sequence, Set, Union
 from ..ctl.parser import parse_ctl
 from ..errors import ParseError
 from ..expr.ast import Expr
+from ..obs.counters import counter_inc
 from ..expr.parser import _parse_number, parse_expr
 from .ast import (
     Case,
@@ -487,7 +488,12 @@ def parse_module(text: str, filename: Optional[str] = None) -> Module:
     Raises :class:`~repro.errors.ParseError` with 1-based ``line`` and
     ``column`` attributes (and ``filename`` when given) on any syntax or
     declaration error.
+
+    Every call bumps the process-global ``lang.parse_module`` counter
+    (:mod:`repro.obs.counters`) — the serving layer's dedup tests use its
+    delta to prove that identical concurrent requests are parsed once.
     """
+    counter_inc("lang.parse_module")
     return _ModuleParser(text, filename).parse()
 
 

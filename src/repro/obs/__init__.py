@@ -19,6 +19,11 @@ engine work reports through:
     The ``repro bench`` workload registry and ``BENCH_<name>.json``
     baseline codec: counters are the stable, machine-independent signal;
     wall-clock rides along as information.
+:mod:`repro.obs.counters`
+    A process-global named-counter registry for subsystems whose
+    lifetime outlives any one analysis (the ``repro serve`` cache and
+    worker pool, the parser's parse-count telemetry); surfaces in the
+    server's ``/v1/stats`` as a ``repro-metrics/v1`` document.
 
 Everything here is pure stdlib, and recording is observationally inert:
 spans and events only *read* engine state (resource counters, satcounts),
@@ -37,6 +42,12 @@ from .bench import (
     run_bench,
     run_workload,
     write_baseline,
+)
+from .counters import (
+    counter_delta,
+    counter_inc,
+    counter_value,
+    counters_snapshot,
 )
 from .telemetry import (
     METRICS_SCHEMA,
@@ -73,4 +84,8 @@ __all__ = [
     "run_bench",
     "run_workload",
     "write_baseline",
+    "counter_delta",
+    "counter_inc",
+    "counter_value",
+    "counters_snapshot",
 ]

@@ -118,6 +118,81 @@ def _builtin(target: str, stage: Optional[str] = None,
     return build
 
 
+class _SummedManager:
+    """Duck-typed BDD manager whose ``resource_stats`` is the sum over
+    every real manager a workload actually built."""
+
+    def __init__(self, runs: List[Dict[str, int]]):
+        self._runs = runs
+
+    def resource_stats(self) -> Dict[str, int]:
+        total: Dict[str, int] = {}
+        for stats in self._runs:
+            for key, value in stats.items():
+                if isinstance(value, int):
+                    total[key] = total.get(key, 0) + value
+        return total
+
+
+class _SummedFsm:
+    def __init__(self, manager: _SummedManager):
+        self.manager = manager
+
+
+class _ServeCacheRun:
+    """The ``serve_cache`` workload: repeated identical requests routed
+    through the content-addressed result cache (the ``repro serve`` hot
+    path, minus the HTTP layer).
+
+    Only cache *misses* build a real analysis, and the reported counters
+    sum over every BDD manager actually created — so with a working
+    cache they equal exactly one analysis' worth of engine work, and a
+    cache that stops hitting (key instability, eviction bug, broken
+    round trip) multiplies the gated counters and fails the compare
+    gate.
+    """
+
+    #: Identical requests per run; only the first may do engine work.
+    REPEATS = 4
+
+    def __init__(self, backend: str):
+        from ..engine import EngineConfig
+
+        self.config = EngineConfig(backend=backend)
+        self._manager_runs: List[Dict[str, int]] = []
+        self.fsm = _SummedFsm(_SummedManager(self._manager_runs))
+
+    def result(self):
+        from ..analysis import Analysis, AnalysisResult
+        from ..serve.cache import ResultCache
+        from ..serve.keys import request_key
+
+        cache = ResultCache(max_entries=8)  # memory tier only
+        key = request_key(
+            target="queue-wrap", stage="extended", config=self.config
+        )
+        outcome = None
+        for _ in range(self.REPEATS):
+            hit = cache.get(key)
+            if hit is not None:
+                outcome = AnalysisResult.from_json(hit)
+                continue
+            analysis = Analysis.builtin(
+                "queue-wrap", stage="extended", config=self.config
+            )
+            outcome = analysis.result()
+            self._manager_runs.append(analysis.fsm.manager.resource_stats())
+            cache.put(key, outcome.to_json())
+        return outcome
+
+
+def _serve_cache() -> Callable[[str], "object"]:
+    def build(backend: str = DEFAULT_BACKEND):
+        return _ServeCacheRun(backend)
+
+    return build
+
+
 #: The registered workloads, mirroring the ``benchmarks/test_bench_*``
 #: suites: Table-2 circuits under the default engine, the same circuits
 #: under a forced-GC policy (resource-manager trajectory), and the
@@ -161,6 +236,12 @@ BENCH_WORKLOADS: Dict[str, BenchWorkload] = {
             "decode pipeline under the monolithic transition relation "
             "(partitioning cost trajectory)",
             _builtin("pipeline", stage="initial", trans="mono"),
+        ),
+        BenchWorkload(
+            "serve_cache",
+            "repeated identical requests through the repro.serve result "
+            "cache (counters = exactly one analysis when the cache works)",
+            _serve_cache(),
         ),
     )
 }

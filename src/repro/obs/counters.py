@@ -1,0 +1,76 @@
+"""Process-global named counters — the lightweight side of `repro.obs`.
+
+:class:`~repro.obs.telemetry.Telemetry` records per-run phase spans tied
+to one BDD manager; some signals are *process*-scoped instead: how many
+times the ``.rml`` parser ran, how often the serving cache hit or missed.
+This module is that registry: a flat, thread-safe mapping of dotted
+counter names to integers, increment-only, readable as one snapshot.
+
+Counting is observationally inert (an integer add under a lock) and the
+registry is never consulted by engine code, so results are byte-identical
+whether anything reads it or not.  Consumers:
+
+* :func:`repro.lang.parser.parse_module` increments ``lang.parse_module``
+  per parse — the server's dedup/memo tests use its delta to prove that
+  collapsed identical requests are parsed once, not N times.
+* :class:`repro.serve.cache.ResultCache` mirrors its hit/miss/eviction
+  stats here, so ``GET /v1/stats`` and any other ``repro-metrics/v1``
+  emitter can report them without holding the cache instance.
+
+    >>> from repro.obs.counters import counter_delta, counter_inc
+    >>> with counter_delta("doctest.example") as delta:
+    ...     counter_inc("doctest.example")
+    ...     counter_inc("doctest.example", 2)
+    >>> delta()
+    3
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+__all__ = [
+    "counter_delta",
+    "counter_inc",
+    "counter_value",
+    "counters_snapshot",
+]
+
+_LOCK = threading.Lock()
+_COUNTERS: Dict[str, int] = {}
+
+
+def counter_inc(name: str, amount: int = 1) -> None:
+    """Add ``amount`` to the counter ``name`` (created at 0 on first use)."""
+    with _LOCK:
+        _COUNTERS[name] = _COUNTERS.get(name, 0) + amount
+
+
+def counter_value(name: str) -> int:
+    """The current value of ``name`` (0 if it never incremented)."""
+    with _LOCK:
+        return _COUNTERS.get(name, 0)
+
+
+def counters_snapshot(prefix: Optional[str] = None) -> Dict[str, int]:
+    """A point-in-time copy of every counter (optionally ``prefix``-filtered).
+
+    Counters are process-cumulative, never reset: consumers that need a
+    window (tests, stats endpoints) difference two snapshots instead of
+    resetting shared state under other readers.
+    """
+    with _LOCK:
+        if prefix is None:
+            return dict(_COUNTERS)
+        return {k: v for k, v in _COUNTERS.items() if k.startswith(prefix)}
+
+
+@contextmanager
+def counter_delta(name: str):
+    """Context manager yielding a callable that reports how much ``name``
+    grew since entry — the idiomatic test-side window over a cumulative
+    counter."""
+    start = counter_value(name)
+    yield lambda: counter_value(name) - start

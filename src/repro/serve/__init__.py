@@ -1,0 +1,37 @@
+"""Coverage-as-a-service: the ``repro serve`` analysis server.
+
+The paper's coverage estimate is a pure function of (model, property
+suite, engine config) — so identical requests deserve one computation,
+not many.  This package keeps an analysis service resident: a
+content-addressed result cache (:mod:`~repro.serve.cache`) keyed by the
+``repro-key/v1`` scheme (:mod:`~repro.serve.keys`), a warm recycling
+worker pool (:mod:`~repro.serve.workers`), a hand-rolled asyncio HTTP
+server (:mod:`~repro.serve.server`), and a tiny blocking client
+(:mod:`~repro.serve.client`) that ``repro-coverage run/suite --server``
+speak through.  See ``docs/serving.md`` for the protocol and
+operational story.
+"""
+
+from .cache import ResultCache, default_cache_dir
+from .client import ServeClient
+from .keys import KEY_SCHEME, canonical_rml, model_key, request_key
+from .server import SERVE_SCHEMA, AnalysisServer, ServeOptions, run_server
+from .workers import WorkerPool, analyze_payload, job_from_payload, payload_from_job
+
+__all__ = [
+    "KEY_SCHEME",
+    "SERVE_SCHEMA",
+    "AnalysisServer",
+    "ResultCache",
+    "ServeClient",
+    "ServeOptions",
+    "WorkerPool",
+    "analyze_payload",
+    "canonical_rml",
+    "default_cache_dir",
+    "job_from_payload",
+    "model_key",
+    "payload_from_job",
+    "request_key",
+    "run_server",
+]

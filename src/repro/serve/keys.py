@@ -1,0 +1,137 @@
+"""Content-addressed request keys — the ``repro-key/v1`` scheme.
+
+The paper's coverage metric is a pure function of (model, property suite,
+engine config): two requests that agree on those three produce
+byte-identical :class:`~repro.analysis.AnalysisResult` JSON.  This module
+turns that triple into one stable hex digest the cache and the in-flight
+deduplicator index by.
+
+Scheme ``repro-key/v1``
+-----------------------
+The digest is ``sha256`` over a newline-joined header block::
+
+    repro-key/v1
+    kind=<rml|builtin>
+    model=<model identity, see below>
+    select=<property selection>
+    config=<EngineConfig.fingerprint()>
+
+* ``rml`` models identify as ``sha256`` of their *reprinted* source: the
+  text is parsed and printed back through the canonical printer
+  (:func:`repro.lang.module_to_str`), so whitespace, comments, and other
+  concrete-syntax noise never split the cache, while any semantic edit
+  (a renamed variable, a changed assignment, an added SPEC) lands on a
+  different key.  ``select`` is ``-`` — an ``.rml`` file carries its own
+  property suite.
+* ``builtin`` targets identify by name; ``select`` carries the property
+  stage and the ``buggy`` variant flag.
+* ``config`` is the engine config's canonical JSON fingerprint
+  (:meth:`repro.engine.EngineConfig.fingerprint`), every field explicit,
+  so new engine knobs join the key automatically.
+
+Like the lint code catalogue, the scheme is **append-only**: any change
+to how a component is serialised (a new printer normalisation, a new
+header line) must bump the leading version tag so old cache entries can
+never be misread as answers to new keys.  Entry-level invalidation on
+engine upgrades is the cache's job (see :mod:`repro.serve.cache`), not
+the key's.
+
+    >>> from repro.engine import EngineConfig
+    >>> a = model_key("MODULE m VAR x : boolean;\\nASSIGN next(x) := !x;\\n"
+    ...               "SPEC AG (x | !x); OBSERVED x;")
+    >>> b = model_key("MODULE m  -- comment\\n  VAR x : boolean;\\n\\n"
+    ...               "ASSIGN next(x) := !x;\\nSPEC AG (x | !x);\\nOBSERVED x;")
+    >>> a == b
+    True
+    >>> request_key(rml="MODULE m VAR x : boolean;\\n"
+    ...             "ASSIGN next(x) := !x;\\nSPEC AG (x | !x); OBSERVED x;",
+    ...             config=EngineConfig()) != \\
+    ...     request_key(target="counter", config=EngineConfig())
+    True
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Union
+
+from ..engine import EngineConfig
+from ..lang import module_to_str, parse_module
+from ..lang.ast import Module
+
+__all__ = ["KEY_SCHEME", "canonical_rml", "model_key", "request_key"]
+
+#: Version tag of the key scheme (append-only; bump on any serialisation
+#: change so stale cache entries self-invalidate by key mismatch).
+KEY_SCHEME = "repro-key/v1"
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def canonical_rml(
+    source: Union[str, Module], filename: Optional[str] = None
+) -> str:
+    """The parser∘printer normal form of ``source``.
+
+    Accepts module text or an already-parsed :class:`~repro.lang.Module`
+    (the server reuses the module it parsed for key computation).  Raises
+    :class:`~repro.errors.ParseError` for invalid text.
+    """
+    module = (
+        source
+        if isinstance(source, Module)
+        else parse_module(source, filename=filename)
+    )
+    return module_to_str(module)
+
+
+def model_key(
+    source: Union[str, Module], filename: Optional[str] = None
+) -> str:
+    """sha256 of the reprint-normalised model — invariant under
+    whitespace/comment-only edits, distinct under any semantic edit."""
+    return _sha256(canonical_rml(source, filename=filename))
+
+
+def request_key(
+    *,
+    rml: Optional[Union[str, Module]] = None,
+    target: Optional[str] = None,
+    stage: Optional[str] = None,
+    buggy: bool = False,
+    config: Optional[EngineConfig] = None,
+    filename: Optional[str] = None,
+) -> str:
+    """The ``repro-key/v1`` digest of one analysis request.
+
+    Exactly one of ``rml`` (module text or parsed module) and ``target``
+    (a builtin circuit name) must be given; ``stage``/``buggy`` select the
+    property suite for builtins.  ``config`` defaults to the default
+    :class:`~repro.engine.EngineConfig`.
+    """
+    if (rml is None) == (target is None):
+        raise ValueError(
+            "request_key takes exactly one of rml= (model text) and "
+            "target= (builtin circuit name)"
+        )
+    config = config if config is not None else EngineConfig()
+    if rml is not None:
+        kind = "rml"
+        model = model_key(rml, filename=filename)
+        select = "-"
+    else:
+        kind = "builtin"
+        model = f"builtin:{target}"
+        select = f"stage={stage if stage is not None else '-'},buggy={int(buggy)}"
+    header = "\n".join(
+        (
+            KEY_SCHEME,
+            f"kind={kind}",
+            f"model={model}",
+            f"select={select}",
+            f"config={config.fingerprint()}",
+        )
+    )
+    return _sha256(header)

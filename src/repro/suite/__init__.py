@@ -34,6 +34,7 @@ from .runner import (
     format_results,
     read_report,
     run_jobs,
+    run_jobs_via_server,
     suite_report,
     write_report,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "format_results",
     "read_report",
     "run_jobs",
+    "run_jobs_via_server",
     "suite_report",
     "write_report",
 ]

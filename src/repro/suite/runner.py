@@ -30,6 +30,7 @@ from .jobs import CoverageJob
 __all__ = [
     "execute_job",
     "run_jobs",
+    "run_jobs_via_server",
     "suite_report",
     "write_report",
     "read_report",
@@ -45,17 +46,27 @@ JSON_SCHEMA_ID = "repro-coverage-suite/v2"
 JSON_SCHEMA_ID_V1 = "repro-coverage-suite/v1"
 
 
-def execute_job(job: CoverageJob) -> AnalysisResult:
+def execute_job(
+    job: CoverageJob, *, module=None, include_lint: bool = True
+) -> AnalysisResult:
     """Run one job start-to-finish: build, verify, estimate.
 
     Never raises: failures are captured in the result's ``status`` so one
     bad job cannot take down a whole suite (or its worker pool).  The
     reported ``seconds`` include the model build, matching what a user
     pays end to end.
+
+    ``module``/``include_lint`` are the analysis server's hooks: an
+    already-parsed AST for the job's source skips the worker-side parse,
+    and ``include_lint=False`` keeps raw-text-anchored lint out of
+    results headed for the content-addressed cache (the server merges
+    per-request lint back in).
     """
     started = time.perf_counter()
     try:
-        result = Analysis.from_job(job).result()
+        result = Analysis.from_job(job, module=module).result(
+            include_lint=include_lint
+        )
         result.seconds = time.perf_counter() - started
         return result
     except (ReproError, ValueError, OSError) as exc:
@@ -85,6 +96,49 @@ def run_jobs(
     workers = min(max_workers, len(jobs))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(execute_job, jobs))
+
+
+def run_jobs_via_server(
+    jobs: Sequence[CoverageJob],
+    server,
+    max_workers: int = 1,
+) -> List[AnalysisResult]:
+    """Execute ``jobs`` against a running ``repro serve`` instance — the
+    suite's thin-client mode (``repro-coverage suite --server URL``).
+
+    ``server`` is a base URL (``http://host:port``) or a
+    :class:`~repro.serve.client.ServeClient`.  Results come back in job
+    order; ``max_workers`` fans requests out over that many threads (the
+    server deduplicates and schedules the real work).  Per-job server
+    errors become ``status="error"`` results, mirroring
+    :func:`execute_job`'s never-raise contract — callers wanting to fail
+    fast on an unreachable server should health-check first.
+    """
+    from ..serve.client import ServeClient
+
+    jobs = list(jobs)
+    client = server if isinstance(server, ServeClient) else ServeClient(server)
+
+    def one(job: CoverageJob) -> AnalysisResult:
+        try:
+            return client.analyze_job(job)
+        except (ReproError, OSError) as exc:
+            return AnalysisResult(
+                name=job.name,
+                kind=job.kind,
+                status="error",
+                stage=job.stage,
+                path=job.path,
+                config=job.config,
+                error=str(exc),
+            )
+
+    if max_workers <= 1 or len(jobs) <= 1:
+        return [one(job) for job in jobs]
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=min(max_workers, len(jobs))) as pool:
+        return list(pool.map(one, jobs))
 
 
 # ----------------------------------------------------------------------

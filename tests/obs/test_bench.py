@@ -55,6 +55,25 @@ class TestWorkloads:
         assert result.counters["gc_runs"] > 0
         assert result.counters["gc_freed"] > 0
 
+    def test_serve_cache_workload_counts_exactly_one_analysis(self):
+        """The cached-serving workload repeats the request 4×, but with a
+        working result cache its summed counters equal one direct run —
+        the property the committed baseline gates."""
+        from repro.analysis import Analysis
+
+        result = run_workload(BENCH_WORKLOADS["serve_cache"])
+        assert result.status == "ok"
+        direct = Analysis.builtin("queue-wrap", stage="extended")
+        direct.result()
+        stats = direct.fsm.manager.resource_stats()
+        stats["op_misses"] = sum(
+            stats[f"{kind}_misses"]
+            for kind in ("ite", "and", "or", "xor", "not",
+                         "quant", "restrict", "relprod", "compose")
+        )
+        for key in GATED_COUNTERS:
+            assert result.counters[key] == stats[key], key
+
     def test_run_bench_rejects_unknown_names(self):
         with pytest.raises(ValueError, match="unknown bench workload"):
             run_bench(["counter-full", "warp-core"])

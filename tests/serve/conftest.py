@@ -1,0 +1,94 @@
+"""Fixtures for the serve tests: a real server on a background thread.
+
+``ThreadedServer`` runs an :class:`~repro.serve.server.AnalysisServer`
+inside its own event loop on a daemon thread, bound to an ephemeral
+port — tests exercise the genuine asyncio HTTP path through the real
+:class:`~repro.serve.client.ServeClient`, not a mocked transport.
+
+Inline workers (``workers=0``) keep every fixture single-process: fast,
+fork-free, and the parse-reuse/counter assertions observe the server
+process's own globals.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.server import AnalysisServer, ServeOptions
+
+
+class ThreadedServer:
+    """An AnalysisServer running on its own loop in a daemon thread."""
+
+    def __init__(self, options: ServeOptions):
+        self.options = options
+        self.server = None
+        self._ready = threading.Event()
+        self._stop = None
+        self._loop = None
+        self._failure = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def main():
+            try:
+                self.server = AnalysisServer(self.options)
+                await self.server.start()
+                self._loop = asyncio.get_running_loop()
+                self._stop = asyncio.Event()
+            except Exception as exc:  # surface in start() instead of hanging
+                self._failure = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.aclose()
+
+        asyncio.run(main())
+
+    def start(self) -> "ThreadedServer":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread did not come up")
+        if self._failure is not None:
+            raise self._failure
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed: stop() is idempotent
+        self._thread.join(timeout=30)
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def client(self, timeout: float = 60.0) -> ServeClient:
+        return ServeClient(self.url, timeout=timeout)
+
+
+@pytest.fixture
+def threaded_server(tmp_path):
+    """A per-test server factory; every server is stopped at teardown."""
+    started = []
+
+    def launch(**overrides) -> ThreadedServer:
+        overrides.setdefault("host", "127.0.0.1")
+        overrides.setdefault("port", 0)
+        overrides.setdefault("workers", 0)
+        if not overrides.pop("memory_cache_only", False):
+            overrides.setdefault("cache_dir", tmp_path / "cache")
+        else:
+            overrides["memory_cache_only"] = True
+        server = ThreadedServer(ServeOptions(**overrides)).start()
+        started.append(server)
+        return server
+
+    yield launch
+    for server in started:
+        server.stop()

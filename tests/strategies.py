@@ -18,7 +18,7 @@ import random
 from hypothesis import strategies as st
 
 from repro.expr.ast import Expr
-from repro.gen import random_actl, random_ctl, random_graph
+from repro.gen import generate, random_actl, random_ctl, random_graph
 
 #: The label universe the graph-based tests historically used.
 LABELS = ["p", "q"]
@@ -51,6 +51,16 @@ def acceptable_formulas(atoms, depth: int = 3):
     return _SEEDS.map(
         lambda seed: random_actl(random.Random(f"actl:{seed}"), pool, depth)
     )
+
+
+def modules(params=None):
+    """Random generated models (:class:`repro.gen.GeneratedModel`).
+
+    Each value carries both the rendered ``.rml`` source (``.text``) and
+    its parsed AST (``.module``) — what the serve-key invariance tests
+    need to relate concrete syntax to canonical identity.
+    """
+    return _SEEDS.map(lambda seed: generate(f"module:{seed}", params))
 
 
 def _as_exprs(atoms):

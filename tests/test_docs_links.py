@@ -18,14 +18,14 @@ def _load_checker():
 
 def test_docs_tree_exists():
     for page in ("api.md", "architecture.md", "paper-map.md",
-                 "rml-reference.md", "performance.md"):
+                 "rml-reference.md", "performance.md", "serving.md"):
         assert (ROOT / "docs" / page).is_file(), f"missing docs/{page}"
 
 
 def test_readme_links_to_every_docs_page():
     readme = (ROOT / "README.md").read_text()
     for page in ("api.md", "architecture.md", "paper-map.md",
-                 "rml-reference.md", "performance.md"):
+                 "rml-reference.md", "performance.md", "serving.md"):
         assert f"docs/{page}" in readme, f"README does not link docs/{page}"
 
 
