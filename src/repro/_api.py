@@ -135,6 +135,7 @@ from .suite import (
     BuiltinTarget,
     CoverageJob,
     JobResult,
+    ShardStats,
     build_builtin,
     builtin_jobs,
     default_jobs,
@@ -143,7 +144,9 @@ from .suite import (
     read_report,
     rml_job,
     run_jobs,
+    run_jobs_sharded,
     run_jobs_via_server,
+    run_sharded,
     suite_report,
     write_report,
 )
@@ -198,7 +201,8 @@ __all__ = [
     # suite
     "CoverageJob", "JobResult", "BuiltinTarget", "BUILTIN_TARGETS",
     "build_builtin", "builtin_jobs", "default_jobs", "discover_rml",
-    "rml_job", "execute_job", "run_jobs", "run_jobs_via_server",
+    "rml_job", "execute_job", "run_jobs", "run_jobs_sharded",
+    "run_jobs_via_server", "run_sharded", "ShardStats",
     "suite_report", "write_report", "read_report",
     # serve (coverage-as-a-service)
     "AnalysisServer", "ServeOptions", "ServeClient", "ResultCache",

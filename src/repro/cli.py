@@ -74,10 +74,11 @@ from .engine import EngineConfig
 from .errors import ConfigError, ModelError, ParseError, ReproError
 from .suite import (
     BUILTIN_TARGETS,
+    DEFAULT_MAX_SHARD_RETRIES,
     build_builtin,
     default_jobs,
     format_results,
-    run_jobs,
+    run_jobs_sharded,
     write_report,
 )
 
@@ -390,6 +391,23 @@ def _build_suite_parser() -> argparse.ArgumentParser:
         help="worker processes (default 1: run serially in-process)",
     )
     parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help=(
+            "work shards to split the jobs into (default: several per "
+            "worker); idle workers steal pending shards, and a crashed "
+            "worker costs only its shard's jobs"
+        ),
+    )
+    parser.add_argument(
+        "--max-shard-retries", type=int,
+        default=DEFAULT_MAX_SHARD_RETRIES, metavar="N",
+        help=(
+            "isolated re-runs a shard gets after a worker-pool crash "
+            f"before its jobs are marked status=error (default "
+            f"{DEFAULT_MAX_SHARD_RETRIES}; 0 disables retries)"
+        ),
+    )
+    parser.add_argument(
         "--json", metavar="FILE", help="write the JSON report to FILE"
     )
     parser.add_argument(
@@ -626,6 +644,12 @@ def _main_suite(argv: List[str]) -> int:
     # Validate the engine flags up front: one usage error beats every
     # worker failing with the same message after fan-out.
     config = EngineConfig.from_args(args)
+    if args.shards is not None and args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_shard_retries < 0:
+        print("error: --max-shard-retries must be >= 0", file=sys.stderr)
+        return 2
     directory = args.directory
     if directory is None and Path("examples").is_dir():
         directory = "examples"
@@ -654,10 +678,18 @@ def _main_suite(argv: List[str]) -> int:
         results = run_jobs_via_server(
             jobs, client, max_workers=max(1, args.jobs)
         )
+        shard_stats = None
     else:
-        results = run_jobs(jobs, max_workers=max(1, args.jobs))
+        results, shard_stats = run_jobs_sharded(
+            jobs,
+            max_workers=max(1, args.jobs),
+            shards=args.shards,
+            max_shard_retries=args.max_shard_retries,
+        )
     elapsed = time.perf_counter() - started
     print(format_results(results, seconds=elapsed))
+    if shard_stats is not None and shard_stats.shards:
+        print(shard_stats.summary())
     if args.json:
         write_report(results, args.json, seconds=elapsed)
         print(f"wrote JSON report to {args.json}")

@@ -2,8 +2,10 @@
 
 :func:`run_fuzz` runs ``budget`` differential-oracle cases — each one a
 freshly generated scenario keyed by ``"<seed>:<index>"`` — optionally
-across a process pool (cases are embarrassingly parallel: every case
-builds its own BDD managers, exactly like suite jobs).  Disagreements are
+across work-stealing process shards (cases are embarrassingly parallel:
+every case builds its own BDD managers, exactly like suite jobs; the
+fan-out is :func:`repro.suite.shards.run_sharded`, so a crashed worker
+costs only its shard's cases, not the campaign).  Disagreements are
 greedily shrunk (:mod:`repro.gen.shrink`) in the parent process and
 written as self-describing ``.rml`` reproducers into the regression
 corpus directory, where the suite registry's ``.rml`` discovery picks
@@ -21,7 +23,6 @@ from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -183,6 +184,19 @@ def _run_one(args: Tuple[int, int, GenParams, Tuple[str, ...]]) -> Dict:
     }
 
 
+def _shard_error_case(item, message: str) -> Dict:
+    """The error entry for a case whose worker crashed before reporting
+    — same shape as ``_run_one``'s own exception capture, so the report
+    keeps its seed-line reproduction handle."""
+    seed, index, _params, _axes = item
+    return {
+        "index": index,
+        "status": "error",
+        "seed_key": case_key(seed, index),
+        "error": message,
+    }
+
+
 def run_fuzz(
     budget: int,
     seed: int = 0,
@@ -210,9 +224,21 @@ def run_fuzz(
     if jobs <= 1 or budget <= 1:
         raw = [_run_one(item) for item in work]
     else:
-        workers = min(jobs, budget)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            raw = list(pool.map(_run_one, work, chunksize=4))
+        # Shard the seed space over the work-stealing executor: cases
+        # are pulled by idle workers (no fixed-chunk head-of-line
+        # blocking), completed verdicts are captured shard by shard, and
+        # a crashed worker — exactly the bug class fuzzing hunts —
+        # converts only its shard's cases to error entries instead of
+        # aborting the campaign and losing every finished verdict.
+        from ..suite.shards import run_sharded
+
+        raw, _stats = run_sharded(
+            work,
+            _run_one,
+            _shard_error_case,
+            max_workers=min(jobs, budget),
+            counter_prefix="fuzz.shards",
+        )
 
     result = FuzzResult(
         seed=seed, budget=budget, offset=offset, axes=axes, params=params,

@@ -256,6 +256,32 @@ class Telemetry:
             }
         )
 
+    def record_span(
+        self, name: str, seconds: float, **attrs
+    ) -> Optional[Span]:
+        """Record an externally timed, already-closed span.
+
+        The suite's shard executor uses this: shard work runs in another
+        process whose BDD manager this telemetry can never snapshot, so
+        the worker measures its own wall time and the parent records the
+        finished span here.  No counter deltas are attached (there is no
+        local manager activity to delta); ``attrs`` label the span
+        exactly like :meth:`span`'s.  No-op below level ``"spans"``.
+        """
+        if self.level != TELEMETRY_SPANS:
+            return None
+        span = Span(
+            name=name,
+            index=len(self.spans),
+            parent=self._stack[-1] if self._stack else None,
+            depth=len(self._stack),
+            attrs=attrs,
+            t_start=max(0.0, time.perf_counter() - self._epoch - seconds),
+            seconds=seconds,
+        )
+        self.spans.append(span)
+        return span
+
     def _snapshot(self) -> Optional[Dict[str, float]]:
         if self.manager is None:
             return None

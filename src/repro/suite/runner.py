@@ -2,11 +2,16 @@
 
 Each job rebuilds its model through the :class:`~repro.analysis.Analysis`
 facade inside its own BDD manager, so jobs share no state and parallelise
-perfectly across a ``ProcessPoolExecutor`` (one BDD manager per process;
-results come back as plain :class:`~repro.analysis.AnalysisResult`
-primitives, never BDD handles).  ``max_workers=1`` runs in-process, which
-the tests use to assert that parallel percentages match serial execution
-bit-for-bit.
+perfectly across worker processes (one BDD manager per process; results
+come back as plain :class:`~repro.analysis.AnalysisResult` primitives,
+never BDD handles).  The fan-out runs on the work-stealing shard
+executor (:mod:`repro.suite.shards`): jobs are split into restartable
+shards pulled by idle workers, completed shard results are captured as
+they arrive, and a crashed worker costs only its shard's jobs (marked
+``status="error"`` after bounded retries) instead of the whole run —
+:func:`run_jobs` shares :func:`execute_job`'s never-raise contract.
+``max_workers=1`` runs in-process, which the tests use to assert that
+parallel percentages match serial execution bit-for-bit.
 
 :func:`suite_report` turns a result list into the machine-readable JSON
 document (schema ``repro-coverage-suite/v2``, documented in the README);
@@ -18,23 +23,25 @@ from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .._version import __version__
 from ..analysis import Analysis, AnalysisResult
 from ..errors import ReportError, ReproError
 from .jobs import CoverageJob
+from .shards import DEFAULT_MAX_SHARD_RETRIES, ShardStats, run_sharded
 
 __all__ = [
     "execute_job",
     "run_jobs",
+    "run_jobs_sharded",
     "run_jobs_via_server",
     "suite_report",
     "write_report",
     "read_report",
     "format_results",
+    "DEFAULT_MAX_SHARD_RETRIES",
     "JSON_SCHEMA_ID",
     "JSON_SCHEMA_ID_V1",
 ]
@@ -82,20 +89,73 @@ def execute_job(
         )
 
 
+def _shard_error_result(job: CoverageJob, message: str) -> AnalysisResult:
+    """The error result for a job whose shard never produced one (worker
+    crash, retry exhaustion, unpicklable payload) — same shape as
+    :func:`execute_job`'s own error capture."""
+    return AnalysisResult(
+        name=job.name,
+        kind=job.kind,
+        status="error",
+        stage=job.stage,
+        path=job.path,
+        config=job.config,
+        error=message,
+    )
+
+
 def run_jobs(
-    jobs: Sequence[CoverageJob], max_workers: int = 1
+    jobs: Sequence[CoverageJob],
+    max_workers: int = 1,
+    *,
+    shards: Optional[int] = None,
+    max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+    telemetry=None,
 ) -> List[AnalysisResult]:
     """Execute ``jobs``, fanning out over ``max_workers`` processes.
 
-    Results come back in job order regardless of completion order.  With
-    ``max_workers <= 1`` (or a single job) everything runs in-process.
+    Results come back in job order regardless of completion order, one
+    per job, always — a crashed worker converts only its shard's jobs to
+    ``status="error"`` results (after ``max_shard_retries`` isolated
+    re-runs) instead of raising; see :func:`repro.suite.shards
+    .run_sharded`.  With ``max_workers <= 1`` (or a single job)
+    everything runs in-process.  ``shards=None`` picks a shard count
+    automatically (several per worker).
     """
+    results, _stats = run_jobs_sharded(
+        jobs, max_workers,
+        shards=shards, max_shard_retries=max_shard_retries,
+        telemetry=telemetry,
+    )
+    return results
+
+
+def run_jobs_sharded(
+    jobs: Sequence[CoverageJob],
+    max_workers: int = 1,
+    *,
+    shards: Optional[int] = None,
+    max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+    telemetry=None,
+) -> Tuple[List[AnalysisResult], ShardStats]:
+    """:func:`run_jobs`, plus the shard executor's
+    :class:`~repro.suite.shards.ShardStats` (steal/retry/respawn
+    counts) for callers that surface resilience telemetry."""
     jobs = list(jobs)
     if max_workers <= 1 or len(jobs) <= 1:
-        return [execute_job(job) for job in jobs]
-    workers = min(max_workers, len(jobs))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(execute_job, jobs))
+        return [execute_job(job) for job in jobs], ShardStats(
+            shards=0, workers=1, completed=0
+        )
+    return run_sharded(
+        jobs,
+        execute_job,
+        _shard_error_result,
+        max_workers=min(max_workers, len(jobs)),
+        shards=shards,
+        max_shard_retries=max_shard_retries,
+        telemetry=telemetry,
+        counter_prefix="suite.shards",
+    )
 
 
 def run_jobs_via_server(
@@ -120,9 +180,13 @@ def run_jobs_via_server(
     client = server if isinstance(server, ServeClient) else ServeClient(server)
 
     def one(job: CoverageJob) -> AnalysisResult:
+        started = time.perf_counter()
         try:
             return client.analyze_job(job)
         except (ReproError, OSError) as exc:
+            # Record the elapsed time like execute_job does: a server
+            # error still costs wall clock (connect timeouts above all),
+            # and without it suite totals and format_results undercount.
             return AnalysisResult(
                 name=job.name,
                 kind=job.kind,
@@ -131,6 +195,7 @@ def run_jobs_via_server(
                 path=job.path,
                 config=job.config,
                 error=str(exc),
+                seconds=time.perf_counter() - started,
             )
 
     if max_workers <= 1 or len(jobs) <= 1:

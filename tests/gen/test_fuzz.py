@@ -1,10 +1,25 @@
 """Fuzz campaign driver: budgets, parallelism, reports, CLI contract."""
 
 import json
-
+import os
 
 from repro.cli import main
 from repro.gen import FUZZ_SCHEMA_ID, GenParams, case_key, run_fuzz
+from repro.gen import fuzz as fuzz_mod
+from repro.obs.counters import counter_delta
+
+#: The unpatched worker, captured so the crash-injection wrapper can
+#: delegate for every non-sabotaged case.
+_REAL_RUN_ONE = fuzz_mod._run_one
+
+
+def _crashy_run_one(args):
+    """Kill the worker process outright on case index 3 — the bug class
+    (segfaults, OOM kills) a fuzz campaign must survive, not report."""
+    _seed, index, _params, _axes = args
+    if index == 3:
+        os._exit(29)
+    return _REAL_RUN_ONE(args)
 
 
 def _normalised(result):
@@ -44,6 +59,30 @@ class TestRunFuzz:
 
     def test_case_key_shape(self):
         assert case_key(3, 17) == "3:17"
+
+
+class TestCrashResilience:
+    def test_worker_crash_keeps_completed_verdicts(self, monkeypatch):
+        """A worker dying mid-campaign (the old ``pool.map`` raised
+        ``BrokenProcessPool`` and lost everything) now costs exactly the
+        crashed case: every other verdict survives, and the dead case
+        becomes an error entry that keeps its seed-key handle."""
+        monkeypatch.setattr(fuzz_mod, "_run_one", _crashy_run_one)
+        result = run_fuzz(budget=6, seed=11, jobs=2, shrink=False)
+        assert result.cases == 6
+        assert not result.findings
+        assert len(result.errors) == 1
+        error = result.errors[0]
+        assert error["seed_key"] == case_key(11, 3)
+        assert "crashed" in error["error"]
+        assert not result.ok
+        assert result.to_json()["totals"]["agreed"] == 5
+
+    def test_parallel_campaign_feeds_fuzz_shard_counters(self):
+        with counter_delta("fuzz.shards.runs") as runs:
+            result = run_fuzz(budget=4, seed=11, jobs=2)
+        assert result.ok
+        assert runs() == 4  # one shard per case at this budget
 
 
 class TestFuzzCli:

@@ -57,6 +57,20 @@ def test_remote_reports_are_byte_identical_to_local(matrix_server, config):
     assert [stripped(r) for r in remote] == [stripped(r) for r in local]
 
 
+def test_server_error_results_record_elapsed_seconds():
+    """Per-job server errors must carry their wall-clock cost: suite
+    totals and ``format_results`` time sum ``result.seconds``, and an
+    unreachable server (above all, a connect timeout) is not free."""
+    from repro.suite.registry import builtin_jobs
+
+    jobs = builtin_jobs()[:2]
+    # Reserved port, nothing listening: every job fails client-side.
+    results = run_jobs_via_server(jobs, "http://127.0.0.1:9", max_workers=1)
+    assert [r.status for r in results] == ["error", "error"]
+    for result in results:
+        assert result.seconds > 0.0
+
+
 def test_second_remote_run_is_mostly_cache_hits(matrix_server):
     """Re-running the whole matrix against the warmed server must be
     ≥90% cache hits, measured through the public /v1/stats endpoint."""

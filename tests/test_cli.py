@@ -225,6 +225,31 @@ class TestSuiteSubcommand:
         assert serial_pct == parallel_pct
         assert len(serial_pct) == 3
 
+    def test_sharded_run_prints_shard_telemetry(self, capsys, tmp_path):
+        for name in ("counter", "traffic_light", "arbiter"):
+            (tmp_path / f"{name}.rml").write_text(
+                (EXAMPLES_DIR / f"{name}.rml").read_text()
+            )
+        assert main(["suite", str(tmp_path), "--no-builtins",
+                     "--jobs", "2", "--shards", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 job(s): 3 ok" in out
+        assert "shards: 3 over 2 worker(s)" in out
+        assert "3 completed" in out
+
+    def test_serial_run_prints_no_shard_line(self, capsys, tmp_path):
+        (tmp_path / "light.rml").write_text(
+            (EXAMPLES_DIR / "traffic_light.rml").read_text()
+        )
+        assert main(["suite", str(tmp_path), "--no-builtins"]) == 0
+        assert "shards:" not in capsys.readouterr().out
+
+    def test_invalid_shard_flags_are_usage_errors(self, capsys):
+        assert main(["suite", "--shards", "0"]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+        assert main(["suite", "--max-shard-retries", "-1"]) == 2
+        assert "--max-shard-retries" in capsys.readouterr().err
+
     def test_failing_job_sets_exit_code(self, capsys, tmp_path):
         (tmp_path / "wrong.rml").write_text(
             "MODULE wrong\nVAR\n  x : boolean;\nASSIGN\n"
